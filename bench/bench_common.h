@@ -1,0 +1,91 @@
+// Shared scenario setup for the reproduction benches.
+//
+// Scales: the paper's real trace has 272 switches / 6509 hosts / 271M flows
+// over 24 h; the synthetic traces (Table II) are x10 topologies with
+// 2720M-5071M flows. We keep the topologies at full size (switch/host
+// counts match the paper) and scale the *flow counts* down by
+// kFlowScaleDivisor so a full figure regenerates in seconds on a laptop.
+// Controller workload is reported in requests/s at this scale; multiply by
+// the divisor for the paper's absolute Krps. Shapes (ratios, trends,
+// crossovers) are scale-invariant. Override with env LAZYCTRL_BENCH_SCALE
+// (e.g. 0.1 for a quick pass, 10 for a closer-to-paper run).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+
+namespace lazyctrl::benchx {
+
+/// Paper flow counts divided by this give our default trace sizes.
+constexpr double kFlowScaleDivisor = 1000.0;
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("LAZYCTRL_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// 272 edge switches, ~6.5k hosts: the paper's real data center (§V-A).
+inline topo::Topology real_topology(std::uint64_t seed = 101) {
+  Rng rng(seed);
+  topo::MultiTenantOptions opt;
+  opt.switch_count = 272;
+  opt.tenant_count = 110;            // ~6.5k hosts at 20-100 VMs/tenant
+  opt.min_vms_per_tenant = 20;
+  opt.max_vms_per_tenant = 100;
+  opt.vms_per_switch = 24;
+  return topo::build_multi_tenant(opt, rng);
+}
+
+/// 2713 edge switches, ~65k hosts: the x10 synthetic topology (§V-B).
+inline topo::Topology synthetic_topology(std::uint64_t seed = 202) {
+  Rng rng(seed);
+  topo::MultiTenantOptions opt;
+  opt.switch_count = 2713;
+  opt.tenant_count = 1100;
+  opt.min_vms_per_tenant = 20;
+  opt.max_vms_per_tenant = 100;
+  opt.vms_per_switch = 24;
+  return topo::build_multi_tenant(opt, rng);
+}
+
+/// The stand-in for the paper's real 271M-flow day-long trace.
+inline workload::Trace real_trace(const topo::Topology& topo,
+                                  std::uint64_t seed = 303) {
+  Rng rng(seed);
+  workload::RealLikeOptions opt;
+  opt.total_flows = static_cast<std::size_t>(271e6 / kFlowScaleDivisor *
+                                             bench_scale());
+  return workload::generate_real_like(topo, opt, rng);
+}
+
+/// One of the Table II synthetic traces. paper_flows in units of millions.
+inline workload::Trace synthetic_trace(const topo::Topology& topo, double p,
+                                       double q, double paper_flows_m,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  workload::SyntheticOptions opt;
+  opt.p = p;
+  opt.q = q;
+  opt.total_flows = static_cast<std::size_t>(
+      paper_flows_m * 1e6 / kFlowScaleDivisor * bench_scale());
+  return workload::generate_synthetic(topo, opt, rng);
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper.c_str());
+  std::printf("Flow scale: 1/%.0f of the paper's counts (x%.2f override)\n",
+              kFlowScaleDivisor, bench_scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lazyctrl::benchx

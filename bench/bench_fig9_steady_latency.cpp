@@ -1,0 +1,73 @@
+// Reproduces Fig. 9: steady-state average per-packet forwarding latency in
+// 2-hour buckets over the 24-hour real trace, OpenFlow vs LazyCtrl.
+//
+// Paper shape: LazyCtrl sits ~10% below standard OpenFlow across the day
+// (0.50-0.60 ms vs 0.55-0.68 ms on their testbed).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/network.h"
+#include "workload/intensity.h"
+
+using namespace lazyctrl;
+
+namespace {
+
+std::vector<double> run_latency(const topo::Topology& topo,
+                                const workload::Trace& trace,
+                                core::ControlMode mode, double* overall_ms) {
+  core::Config cfg;
+  cfg.mode = mode;
+  cfg.grouping.group_size_limit = 46;
+  core::Network net(topo, cfg);
+  net.bootstrap(workload::build_intensity_graph(trace, topo, 0, kHour));
+  net.replay(trace);
+
+  std::vector<double> buckets;
+  const auto& series = net.metrics().packet_latency;
+  double sum = 0;
+  std::uint64_t events = 0;
+  for (std::size_t b = 0; b + 1 < series.bucket_count(); b += 2) {
+    const double s = series.bucket_sum(b) + series.bucket_sum(b + 1);
+    const auto e = series.bucket_events(b) + series.bucket_events(b + 1);
+    buckets.push_back(e ? s / static_cast<double>(e) : 0.0);
+    sum += s;
+    events += e;
+  }
+  *overall_ms = events ? sum / static_cast<double>(events) : 0.0;
+  return buckets;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "Fig. 9 — Steady-state average forwarding latency (ms per packet)",
+      "LazyCtrl ~10% below standard OpenFlow across the day");
+
+  const topo::Topology topo = benchx::real_topology();
+  const workload::Trace real = benchx::real_trace(topo);
+
+  double of_ms = 0, lc_ms = 0;
+  const auto of = run_latency(topo, real, core::ControlMode::kOpenFlow,
+                              &of_ms);
+  const auto lc = run_latency(topo, real, core::ControlMode::kLazyCtrl,
+                              &lc_ms);
+
+  std::printf("%-12s", "hours");
+  for (std::size_t b = 0; b < of.size(); ++b) {
+    std::printf("%5zu-%-2zu", 2 * b, 2 * b + 2);
+  }
+  std::printf("\n%-12s", "OpenFlow");
+  for (double v : of) std::printf("%8.3f", v);
+  std::printf("\n%-12s", "LazyCtrl");
+  for (double v : lc) std::printf("%8.3f", v);
+  std::printf("\n\noverall mean: OpenFlow %.3f ms, LazyCtrl %.3f ms -> "
+              "%.1f%% reduction (paper: ~10%%)\n",
+              of_ms, lc_ms, 100.0 * (1.0 - lc_ms / of_ms));
+  std::printf("note: absolute values depend on the simulator's latency "
+              "constants (config.h LatencyModel); the LazyCtrl-below-"
+              "OpenFlow shape is the reproduced result.\n");
+  return 0;
+}

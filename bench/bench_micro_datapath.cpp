@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the per-packet and per-regroup
+// hot paths: Bloom filter ops, G-FIB queries, flow-table lookups, the
+// Fig. 5 forwarding decision, and the partitioner.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/rng.h"
+#include "core/edge_switch.h"
+#include "core/sgi.h"
+#include "graph/multilevel_partitioner.h"
+#include "openflow/flow_table.h"
+
+namespace lazyctrl {
+namespace {
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter f(BloomParameters{16384, 8});
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    f.insert(key++);
+    if ((key & 0x3FF) == 0) f.clear();  // keep fill ratio realistic
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilter f(BloomParameters{16384, 8});
+  for (std::uint64_t k = 0; k < 24; ++k) f.insert(k * 977);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.may_contain(key++));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_GFibQuery(benchmark::State& state) {
+  // A paper-sized G-FIB: 45 peer filters, 24 hosts each.
+  core::GFib gfib(BloomParameters{16384, 8});
+  std::uint32_t host = 0;
+  for (std::uint32_t peer = 1; peer <= 45; ++peer) {
+    std::vector<MacAddress> macs;
+    for (int h = 0; h < 24; ++h) macs.push_back(MacAddress::for_host(host++));
+    gfib.sync_peer(SwitchId{peer}, macs);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gfib.query(MacAddress::for_host(probe++ % 2048)));
+  }
+}
+BENCHMARK(BM_GFibQuery);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  openflow::FlowTable table;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0));
+       ++i) {
+    openflow::FlowRule r;
+    r.priority = 10;
+    r.match.tenant = TenantId{i % 16};
+    r.match.dst_mac = MacAddress::for_host(i);
+    r.action.type = openflow::ActionType::kEncapTo;
+    table.install(r);
+  }
+  net::Packet p;
+  p.tenant = TenantId{3};
+  std::uint32_t dst = 0;
+  for (auto _ : state) {
+    p.dst_mac = MacAddress::for_host(dst++ % state.range(0));
+    benchmark::DoNotOptimize(table.lookup(p, 0));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_EdgeSwitchDecide(benchmark::State& state) {
+  core::Config cfg;
+  core::EdgeSwitch sw(SwitchId{0}, IpAddress::for_switch(0),
+                      MacAddress{0x060000000000ULL}, cfg);
+  // Local hosts + a 45-peer G-FIB.
+  std::uint32_t host = 0;
+  for (int h = 0; h < 24; ++h) {
+    sw.lfib().learn(MacAddress::for_host(host), HostId{host}, TenantId{0});
+    ++host;
+  }
+  for (std::uint32_t peer = 1; peer <= 45; ++peer) {
+    std::vector<MacAddress> macs;
+    for (int h = 0; h < 24; ++h) macs.push_back(MacAddress::for_host(host++));
+    sw.gfib().sync_peer(SwitchId{peer}, macs);
+  }
+  net::Packet p;
+  p.tenant = TenantId{0};
+  p.src_mac = MacAddress::for_host(0);
+  std::uint32_t dst = 0;
+  for (auto _ : state) {
+    p.dst_mac = MacAddress::for_host(dst++ % (46 * 24));
+    benchmark::DoNotOptimize(
+        sw.decide(p, 0, core::ControlMode::kLazyCtrl));
+  }
+}
+BENCHMARK(BM_EdgeSwitchDecide);
+
+graph::WeightedGraph random_intensity(std::size_t n, std::size_t deg,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  graph::WeightedGraph g(n);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (std::size_t d = 0; d < deg; ++d) {
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      if (v != u) g.add_edge(u, v, 1.0 + rng.next_double() * 9);
+    }
+  }
+  return g;
+}
+
+void BM_MlkpPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::WeightedGraph g = random_intensity(n, 8, 42);
+  graph::MultilevelPartitioner mp;
+  const std::size_t limit = 46;
+  graph::PartitionConstraints c{static_cast<double>(limit)};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(mp.partition(g, (n + limit - 1) / limit, c, rng));
+  }
+}
+BENCHMARK(BM_MlkpPartition)->Arg(272)->Arg(1024)->Arg(2713)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncUpdate(benchmark::State& state) {
+  graph::WeightedGraph g = random_intensity(272, 8, 42);
+  core::Sgi sgi(core::SgiOptions{.group_size_limit = 46,
+                                 .max_iterations = 1});
+  Rng rng(7);
+  const core::Grouping base = sgi.initial_grouping(g, rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::Grouping grouping = base;
+    Rng r(seed++);
+    benchmark::DoNotOptimize(sgi.incremental_update(grouping, g, r));
+  }
+}
+BENCHMARK(BM_IncUpdate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyctrl
+
+BENCHMARK_MAIN();

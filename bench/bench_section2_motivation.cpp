@@ -1,0 +1,55 @@
+// Reproduces the §II-A motivation measurements on the real-like trace:
+//
+//  * 6509 hosts; only 11,602 of >20 million possible host pairs exchanged
+//    traffic;
+//  * over 90% of flows contributed by ~10% of the communicating pairs;
+//  * an even 5-way partition leaves < 9.8% of traffic inter-group;
+//  * average group centrality 0.853.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/analyzer.h"
+#include "workload/stats.h"
+
+using namespace lazyctrl;
+
+int main() {
+  benchx::print_header(
+      "§II-A — traffic locality measurements on the (stand-in) real trace",
+      "6509 hosts, 11,602 communicating pairs of >20M, top-10% pairs -> "
+      ">90% of flows, <9.8% inter-group, centrality 0.853");
+
+  const topo::Topology topo = benchx::real_topology();
+  const workload::Trace trace = benchx::real_trace(topo);
+  const workload::TraceStats stats = workload::compute_stats(trace, topo, 5);
+  const workload::TraceProfile profile = workload::analyze(trace, topo);
+
+  const double possible_pairs =
+      static_cast<double>(topo.host_count()) *
+      static_cast<double>(topo.host_count() - 1) / 2.0;
+
+  std::printf("%-44s %14s %14s\n", "quantity", "measured", "paper");
+  std::printf("%-44s %14zu %14d\n", "hosts", topo.host_count(), 6509);
+  std::printf("%-44s %13.1fM %14s\n", "possible host pairs",
+              possible_pairs / 1e6, ">20M");
+  std::printf("%-44s %14zu %14d\n", "pairs that exchanged traffic",
+              stats.distinct_pairs, 11602);
+  std::printf("%-44s %13.1f%% %14s\n", "flows from busiest 10% of pairs",
+              100.0 * stats.top10_pair_flow_share, ">90%");
+  std::printf("%-44s %13.1f%% %14s\n", "inter-group traffic (5-way split)",
+              100.0 * (1.0 - stats.intra_group_flow_fraction), "<9.8%");
+  std::printf("%-44s %14.3f %14.3f\n", "average group centrality",
+              stats.avg_centrality, 0.853);
+  std::printf("%-44s %13.1f%% %14s\n", "intra-tenant flow share",
+              100.0 * profile.intra_tenant_flow_share,
+              "(tenant isolation)");
+  std::printf("%-44s %14zu %14s\n", "shared-service hubs detected",
+              profile.hubs.size(), "n/a");
+
+  std::printf("\nNote: our communicating-pair count exceeds the paper's "
+              "11.6k because each of ~6.5k hosts gets ~3 partners plus "
+              "cross-tenant/hub pairs; the locality and skew statistics "
+              "are what LazyCtrl exploits and what the generator is "
+              "calibrated to.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table II: characteristics of the four traffic traces.
+//
+//   Trace   #flows   avg.centrality   p(%)   q(%)
+//   Real    271M     0.85             -      -
+//   Syn-A   2720M    0.85             90     10
+//   Syn-B   3806M    0.72             70     20
+//   Syn-C   5071M    0.61             70     30
+//
+// Flow counts are scaled by bench_common's divisor; centrality is measured
+// on the generated trace with the paper's 5-way host partition.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/stats.h"
+
+using namespace lazyctrl;
+
+namespace {
+
+void report(const char* name, const workload::Trace& trace,
+            const topo::Topology& topo, double paper_centrality, double p,
+            double q) {
+  const workload::TraceStats s = workload::compute_stats(trace, topo, 5);
+  std::printf("%-6s %10zu %12.0fM %12.3f %10.2f", name, trace.flow_count(),
+              static_cast<double>(trace.flow_count()) *
+                  benchx::kFlowScaleDivisor / benchx::bench_scale() / 1e6,
+              s.avg_centrality, paper_centrality);
+  if (p > 0) {
+    std::printf(" %6.0f %6.0f", p, q);
+  } else {
+    std::printf("    N/A    N/A");
+  }
+  std::printf("   (top-10%% pair share: %.2f, intra-group: %.2f)\n",
+              s.top10_pair_flow_share, s.intra_group_flow_fraction);
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header("Table II — Characteristics of the traffic traces",
+                       "Real 271M flows c=0.85; Syn-A/B/C with (p,q) = "
+                       "(90,10)/(70,20)/(70,30), c = 0.85/0.72/0.61");
+
+  std::printf("%-6s %10s %13s %12s %10s %6s %6s\n", "trace", "flows",
+              "(paper-scale)", "centrality", "(paper)", "p%", "q%");
+
+  {
+    const topo::Topology topo = benchx::real_topology();
+    const workload::Trace real = benchx::real_trace(topo);
+    report("Real", real, topo, 0.85, -1, -1);
+  }
+  {
+    const topo::Topology topo = benchx::synthetic_topology();
+    std::printf("(synthetic topology: %zu switches, %zu hosts)\n",
+                topo.switch_count(), topo.host_count());
+    report("Syn-A", benchx::synthetic_trace(topo, 90, 10, 2720, 501), topo,
+           0.85, 90, 10);
+    report("Syn-B", benchx::synthetic_trace(topo, 70, 20, 3806, 502), topo,
+           0.72, 70, 20);
+    report("Syn-C", benchx::synthetic_trace(topo, 70, 30, 5071, 503), topo,
+           0.61, 70, 30);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "bloom/bloom_bank.h"
+
+#include <algorithm>
+
+namespace lazyctrl {
+
+void BloomBank::set_filter(SwitchId peer, BloomFilter filter) {
+  filters_.insert_or_assign(peer, std::move(filter));
+}
+
+void BloomBank::build_filter(SwitchId peer,
+                             const std::vector<MacAddress>& hosts) {
+  BloomFilter f(params_);
+  for (MacAddress mac : hosts) f.insert(mac);
+  filters_.insert_or_assign(peer, std::move(f));
+}
+
+void BloomBank::remove_filter(SwitchId peer) { filters_.erase(peer); }
+
+void BloomBank::clear() { filters_.clear(); }
+
+std::vector<SwitchId> BloomBank::query(MacAddress mac) const {
+  std::vector<SwitchId> hits;
+  for (const auto& [peer, filter] : filters_) {
+    if (filter.may_contain(mac)) hits.push_back(peer);
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+const BloomFilter* BloomBank::filter(SwitchId peer) const {
+  auto it = filters_.find(peer);
+  return it == filters_.end() ? nullptr : &it->second;
+}
+
+std::size_t BloomBank::storage_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [peer, filter] : filters_) total += filter.storage_bytes();
+  return total;
+}
+
+}  // namespace lazyctrl

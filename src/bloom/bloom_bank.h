@@ -1,0 +1,58 @@
+// BloomBank: a keyed collection of Bloom filters, one per peer switch.
+//
+// This is the storage layout of the paper's G-FIB (§III-D2): for a group of
+// S switches, every member keeps S-1 filters, each summarising one peer's
+// L-FIB. A lookup probes every filter and returns the vector of peers that
+// *might* host the queried MAC (false positives possible, negatives exact).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/ids.h"
+#include "common/mac.h"
+
+namespace lazyctrl {
+
+class BloomBank {
+ public:
+  explicit BloomBank(BloomParameters per_filter_params = {})
+      : params_(per_filter_params) {}
+
+  /// Installs (or replaces) the filter summarising `peer`'s host set.
+  void set_filter(SwitchId peer, BloomFilter filter);
+
+  /// Builds and installs a filter for `peer` from its host MAC list.
+  void build_filter(SwitchId peer, const std::vector<MacAddress>& hosts);
+
+  /// Removes the filter for `peer` (e.g. the peer left the group).
+  void remove_filter(SwitchId peer);
+
+  void clear();
+
+  /// All peers whose filter reports possible membership of `mac`,
+  /// in ascending SwitchId order (deterministic fan-out).
+  [[nodiscard]] std::vector<SwitchId> query(MacAddress mac) const;
+
+  [[nodiscard]] bool has_filter(SwitchId peer) const {
+    return filters_.contains(peer);
+  }
+  [[nodiscard]] const BloomFilter* filter(SwitchId peer) const;
+  [[nodiscard]] std::size_t filter_count() const noexcept {
+    return filters_.size();
+  }
+  /// Total bit-array storage across all filters, in bytes.
+  [[nodiscard]] std::size_t storage_bytes() const noexcept;
+  [[nodiscard]] const BloomParameters& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  BloomParameters params_;
+  std::unordered_map<SwitchId, BloomFilter> filters_;
+};
+
+}  // namespace lazyctrl

@@ -1,0 +1,111 @@
+#include "bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lazyctrl {
+
+namespace {
+
+// Two independent 64-bit mixers (xxHash/SplitMix-style avalanche finalizers)
+// seeding the Kirsch-Mitzenmacher double hashing scheme.
+std::uint64_t mix1(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t mix2(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BloomParameters BloomParameters::for_target(std::size_t expected_items,
+                                            double target_fp_rate) {
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  target_fp_rate = std::clamp(target_fp_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(target_fp_rate) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  BloomParameters p;
+  p.bits = std::max<std::size_t>(64, static_cast<std::size_t>(std::ceil(m)));
+  p.hash_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(k)));
+  return p;
+}
+
+BloomFilter::BloomFilter(BloomParameters params)
+    : words_((std::max<std::size_t>(params.bits, 64) + 63) / 64),
+      hashes_(std::max<std::size_t>(params.hash_count, 1)) {}
+
+BloomFilter::IndexPair BloomFilter::hash_key(std::uint64_t key) const noexcept {
+  return IndexPair{mix1(key), mix2(key) | 1};  // h2 odd => full period
+}
+
+void BloomFilter::insert(std::uint64_t key) noexcept {
+  const IndexPair h = hash_key(key);
+  const std::size_t bits = bit_count();
+  std::uint64_t idx = h.h1;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(idx % bits);
+    words_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+    idx += h.h2;
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const noexcept {
+  const IndexPair h = hash_key(key);
+  const std::size_t bits = bit_count();
+  std::uint64_t idx = h.h1;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(idx % bits);
+    if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+    idx += h.h2;
+  }
+  return true;
+}
+
+void BloomFilter::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+std::size_t BloomFilter::popcount() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(
+      std::popcount(w));
+  return total;
+}
+
+double BloomFilter::expected_fp_rate() const noexcept {
+  const double k = static_cast<double>(hashes_);
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count());
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  return static_cast<double>(popcount()) / static_cast<double>(bit_count());
+}
+
+bool BloomFilter::merge(const BloomFilter& other) noexcept {
+  if (other.words_.size() != words_.size() || other.hashes_ != hashes_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+  return true;
+}
+
+}  // namespace lazyctrl

@@ -1,0 +1,91 @@
+// Bloom filter used to implement the Group Forwarding Information Base.
+//
+// Paper context (§III-D2): each edge switch stores one Bloom filter per peer
+// switch in its local control group; the filter for peer P summarises the
+// set of host MACs attached to P. Membership queries answer "might host X
+// be behind P?" with a controlled false-positive rate.
+//
+// The implementation uses the standard double-hashing scheme of Kirsch &
+// Mitzenmacher: k index functions derived from two 64-bit hashes, so adding
+// an element costs two multiplies plus k cheap combines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mac.h"
+
+namespace lazyctrl {
+
+/// Parameters for constructing a Bloom filter.
+struct BloomParameters {
+  /// Number of bits in the filter (rounded up to a multiple of 64).
+  std::size_t bits = 1024;
+  /// Number of hash functions.
+  std::size_t hash_count = 4;
+
+  /// Chooses (bits, hash_count) to meet `target_fp_rate` at `expected_items`
+  /// insertions, using the textbook optimum m = -n ln p / (ln 2)^2 and
+  /// k = (m/n) ln 2.
+  static BloomParameters for_target(std::size_t expected_items,
+                                    double target_fp_rate);
+};
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParameters params = {});
+
+  void insert(std::uint64_t key) noexcept;
+  void insert(MacAddress mac) noexcept { insert(mac.bits()); }
+
+  /// True if `key` *may* have been inserted; false means definitely not.
+  [[nodiscard]] bool may_contain(std::uint64_t key) const noexcept;
+  [[nodiscard]] bool may_contain(MacAddress mac) const noexcept {
+    return may_contain(mac.bits());
+  }
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return words_.size() * 64;
+  }
+  [[nodiscard]] std::size_t hash_count() const noexcept { return hashes_; }
+  [[nodiscard]] std::size_t inserted_count() const noexcept {
+    return inserted_;
+  }
+  /// Storage footprint of the bit array in bytes.
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+  /// Number of set bits (popcount over the array).
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Expected false-positive probability given the elements inserted so far:
+  /// (1 - e^{-kn/m})^k.
+  [[nodiscard]] double expected_fp_rate() const noexcept;
+
+  /// Observed fill ratio (set bits / total bits).
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// Merges another filter of identical geometry (bitwise OR).
+  /// Returns false (and leaves this unchanged) on geometry mismatch.
+  bool merge(const BloomFilter& other) noexcept;
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) noexcept {
+    return a.hashes_ == b.hashes_ && a.words_ == b.words_;
+  }
+
+ private:
+  struct IndexPair {
+    std::uint64_t h1;
+    std::uint64_t h2;
+  };
+  [[nodiscard]] IndexPair hash_key(std::uint64_t key) const noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t hashes_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace lazyctrl

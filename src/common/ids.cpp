@@ -1,0 +1,4 @@
+#include "common/ids.h"
+
+// Header-only; this TU exists so the library has a stable archive member and
+// the header is compiled standalone at least once.

@@ -1,0 +1,83 @@
+// Strongly-typed identifiers used across the LazyCtrl library.
+//
+// Each entity class (switch, host, tenant, group, link) gets its own id type
+// so that a HostId can never be passed where a SwitchId is expected. The ids
+// are thin wrappers over a 32-bit index and are cheap to copy, hash and
+// compare; kInvalid (max value) denotes "no entity".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace lazyctrl {
+
+/// CRTP-free strong id: `Tag` makes distinct instantiations incompatible.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(value_type v) noexcept : value_(v) {}
+
+  /// Sentinel id meaning "no entity".
+  static constexpr StrongId invalid() noexcept {
+    return StrongId{kInvalidValue};
+  }
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalidValue;
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+struct SwitchTag {};
+struct HostTag {};
+struct TenantTag {};
+struct GroupTag {};
+struct LinkTag {};
+
+/// Identifies an edge switch.
+using SwitchId = StrongId<SwitchTag>;
+/// Identifies a host (virtual machine attached to an edge switch).
+using HostId = StrongId<HostTag>;
+/// Identifies a tenant (isolation domain; maps to a VLAN in the paper).
+using TenantId = StrongId<TenantTag>;
+/// Identifies a local control group (LCG).
+using GroupId = StrongId<GroupTag>;
+/// Identifies a physical/underlay link.
+using LinkId = StrongId<LinkTag>;
+
+}  // namespace lazyctrl
+
+namespace std {
+template <typename Tag>
+struct hash<lazyctrl::StrongId<Tag>> {
+  size_t operator()(lazyctrl::StrongId<Tag> id) const noexcept {
+    return std::hash<typename lazyctrl::StrongId<Tag>::value_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,37 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (level = kWarn); benches and examples can
+// raise verbosity. Logging goes to stderr so bench stdout stays parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lazyctrl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+#define LAZYCTRL_LOG(level, expr)                                       \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::lazyctrl::log_level())) {                    \
+      std::ostringstream lazyctrl_log_oss;                              \
+      lazyctrl_log_oss << expr;                                         \
+      ::lazyctrl::detail::emit(level, lazyctrl_log_oss.str());          \
+    }                                                                   \
+  } while (0)
+
+#define LOG_DEBUG(expr) LAZYCTRL_LOG(::lazyctrl::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) LAZYCTRL_LOG(::lazyctrl::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) LAZYCTRL_LOG(::lazyctrl::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) LAZYCTRL_LOG(::lazyctrl::LogLevel::kError, expr)
+
+}  // namespace lazyctrl

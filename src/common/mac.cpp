@@ -1,0 +1,27 @@
+#include "common/mac.h"
+
+#include <array>
+#include <cstdio>
+
+namespace lazyctrl {
+
+std::string MacAddress::to_string() const {
+  std::array<char, 18> buf{};
+  std::snprintf(buf.data(), buf.size(), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((bits_ >> 40) & 0xFF),
+                static_cast<unsigned>((bits_ >> 32) & 0xFF),
+                static_cast<unsigned>((bits_ >> 24) & 0xFF),
+                static_cast<unsigned>((bits_ >> 16) & 0xFF),
+                static_cast<unsigned>((bits_ >> 8) & 0xFF),
+                static_cast<unsigned>(bits_ & 0xFF));
+  return std::string(buf.data());
+}
+
+std::string IpAddress::to_string() const {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return std::string(buf.data());
+}
+
+}  // namespace lazyctrl

@@ -1,0 +1,101 @@
+// MAC and IPv4 address value types.
+//
+// LazyCtrl's data plane is an L2 overlay over an IP underlay: hosts are
+// addressed by MAC, edge switches by underlay IP. Both types are small value
+// types with total ordering and hashing so they can key FIB tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lazyctrl {
+
+/// A 48-bit Ethernet MAC address stored in the low bits of a uint64.
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  constexpr explicit MacAddress(std::uint64_t bits) noexcept
+      : bits_(bits & kMask) {}
+
+  /// Deterministically derives the MAC assigned to host `host_index`.
+  /// Uses a locally-administered OUI so generated MACs never collide with
+  /// the broadcast address.
+  static constexpr MacAddress for_host(std::uint32_t host_index) noexcept {
+    // 0x02 in the first octet = locally administered, unicast.
+    return MacAddress{(std::uint64_t{0x02} << 40) | host_index};
+  }
+
+  static constexpr MacAddress broadcast() noexcept {
+    return MacAddress{kMask};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool is_broadcast() const noexcept {
+    return bits_ == kMask;
+  }
+
+  /// "aa:bb:cc:dd:ee:ff" rendering for logs and debugging.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(MacAddress a, MacAddress b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(MacAddress a, MacAddress b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(MacAddress a, MacAddress b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << 48) - 1;
+  std::uint64_t bits_ = 0;
+};
+
+/// A 32-bit IPv4 address (used for the underlay and tunnel endpoints).
+class IpAddress {
+ public:
+  constexpr IpAddress() noexcept = default;
+  constexpr explicit IpAddress(std::uint32_t bits) noexcept : bits_(bits) {}
+
+  /// Underlay address assigned to edge switch `switch_index` (10.0.0.0/8).
+  static constexpr IpAddress for_switch(std::uint32_t switch_index) noexcept {
+    return IpAddress{(std::uint32_t{10} << 24) | (switch_index & 0xFFFFFF)};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t bits() const noexcept { return bits_; }
+
+  /// Dotted-quad rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(IpAddress a, IpAddress b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(IpAddress a, IpAddress b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(IpAddress a, IpAddress b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace lazyctrl
+
+namespace std {
+template <>
+struct hash<lazyctrl::MacAddress> {
+  size_t operator()(lazyctrl::MacAddress m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.bits());
+  }
+};
+template <>
+struct hash<lazyctrl::IpAddress> {
+  size_t operator()(lazyctrl::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits());
+  }
+};
+}  // namespace std

@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace lazyctrl {
+
+std::uint64_t Rng::next_u64() noexcept {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's method with rejection for exact uniformity.
+  while (true) {
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::next_double() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::int64_t Rng::next_between(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_exponential(double mean) noexcept {
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace lazyctrl

@@ -1,0 +1,91 @@
+// Small statistics helpers shared by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace lazyctrl {
+
+/// Online mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Accumulates samples into fixed-width time buckets (e.g. 2-hour windows
+/// over a 24-hour trace, as used by the paper's Figs. 7-9).
+class TimeBucketSeries {
+ public:
+  /// `bucket_width` must be > 0; `horizon` defines the covered range
+  /// [0, horizon); samples outside are clamped into the last bucket.
+  TimeBucketSeries(SimDuration bucket_width, SimDuration horizon);
+
+  void add(SimTime when, double value);
+  /// Counts an event without a value (for rate series).
+  void add_event(SimTime when) { add(when, 1.0); }
+  /// Adds `count` samples of the same `value` at `when` in O(1).
+  void add_n(SimTime when, double value, std::uint64_t count);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] SimDuration bucket_width() const noexcept { return width_; }
+
+  /// Sum of sample values in bucket `i`.
+  [[nodiscard]] double bucket_sum(std::size_t i) const;
+  /// Number of samples in bucket `i`.
+  [[nodiscard]] std::uint64_t bucket_events(std::size_t i) const;
+  /// Mean sample value in bucket `i` (0 when empty).
+  [[nodiscard]] double bucket_mean(std::size_t i) const;
+  /// Events per second within bucket `i`.
+  [[nodiscard]] double bucket_rate_per_sec(std::size_t i) const;
+
+  /// Human-readable "lo-hi" hour label for bucket `i` (e.g. "2-4").
+  [[nodiscard]] std::string bucket_label_hours(std::size_t i) const;
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    std::uint64_t events = 0;
+  };
+  SimDuration width_;
+  std::vector<Bucket> buckets_;
+};
+
+/// Exact quantiles over a stored sample set. Intended for moderate sample
+/// counts (the harness records per-packet latencies in the thousands).
+class QuantileSketch {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Returns the q-quantile (q in [0,1]) by nearest-rank; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace lazyctrl

@@ -1,0 +1,32 @@
+// Simulated-time types.
+//
+// The simulator clock counts nanoseconds from the start of the run as a
+// signed 64-bit integer (enough for ~292 years). We use a distinct type
+// rather than std::chrono to keep event structs trivially copyable and the
+// arithmetic explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace lazyctrl {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace lazyctrl

@@ -1,0 +1,109 @@
+// Configuration for a LazyCtrl (or baseline OpenFlow) control plane run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace lazyctrl::core {
+
+/// Which control plane drives the network.
+enum class ControlMode {
+  kOpenFlow,  ///< Baseline: every new flow is set up by the controller.
+  kLazyCtrl,  ///< Hybrid: LCGs handle intra-group flows, controller the rest.
+};
+
+struct LatencyModel {
+  /// Host NIC <-> edge switch.
+  SimDuration host_link = 20 * kMicrosecond;
+  /// One-hop underlay path between any two edge switches (§III-B1).
+  SimDuration datapath = 150 * kMicrosecond;
+  /// Per-switch pipeline processing (table lookups, encap).
+  SimDuration switch_processing = 10 * kMicrosecond;
+  /// One-way control/state/peer link latency to the controller or peers.
+  SimDuration control_link = 500 * kMicrosecond;
+  /// Controller service time per request (1 / capacity). The paper cites
+  /// ~30K requests/s for commodity controllers; scaled runs keep the ratio.
+  SimDuration controller_service = 50 * kMicrosecond;
+};
+
+struct ControllerConfig {
+  /// Number of servers behind the logically centralized controller
+  /// (§III-B2: "a logical controller comprised of a cluster of servers").
+  /// Requests go to the earliest-free server (M/D/k-style FIFO).
+  std::size_t servers = 1;
+};
+
+struct GroupingConfig {
+  /// Hard cap on switches per local control group.
+  std::size_t group_size_limit = 46;
+  /// Adapt grouping at runtime (IncUpdate); false = static initial grouping.
+  bool dynamic_regrouping = true;
+  /// Trigger: accumulated controller-workload growth since the last update.
+  double workload_growth_trigger = 0.30;
+  /// Minimum interval between grouping updates (anti-oscillation).
+  SimDuration min_update_interval = 2 * kMinute;
+  /// Window over which workload/traffic statistics are accumulated.
+  SimDuration stats_window = 1 * kMinute;
+  /// EWMA decay for the recent intensity estimate: each closed window
+  /// contributes (1 - decay) of the estimate, so the effective horizon is
+  /// stats_window / (1 - decay). Smooths out scaled-trace noise so
+  /// IncUpdate follows traffic structure rather than per-window jitter.
+  double intensity_ewma_decay = 0.85;
+  /// IncUpdate is skipped when the recent intensity estimate carries fewer
+  /// flows than this — regrouping on no evidence only churns state.
+  double min_update_flow_evidence = 200.0;
+  /// Max merge-split iterations per IncUpdate invocation.
+  int max_incupdate_iterations = 4;
+  /// Appendix B: process several disjoint group pairs per iteration.
+  bool parallel_incupdate = false;
+  /// Appendix B: preload temporary rules during grouping transitions.
+  bool preload_on_update = true;
+  /// Duration of the reconfiguration window after an update during which
+  /// affected switches lack fresh G-FIBs (absorbed by preload when on).
+  SimDuration transition_window = 200 * kMillisecond;
+  /// Appendix B: exclude hosts of switches serving more tenants than this
+  /// from grouping (0 = feature off); their flows go to the controller.
+  std::size_t host_exclusion_tenant_threshold = 0;
+};
+
+struct FibConfig {
+  /// Bloom-filter bits per G-FIB entry filter. The paper's sizing example
+  /// uses 16 x 128-byte entries = 2048 bytes = 16384 bits per peer filter.
+  std::size_t bloom_bits = 16384;
+  std::size_t bloom_hashes = 8;
+  /// Report mis-forwarded (false-positive) packets to the controller so it
+  /// can install exact rules (§III-D4, optional).
+  bool report_false_positives = false;
+};
+
+struct RuleConfig {
+  /// TTL for reactively installed rules; hit refreshes the expiry.
+  SimDuration rule_ttl = 60 * kSecond;
+  /// Per-switch flow-table capacity (0 = unlimited).
+  std::size_t flow_table_capacity = 0;
+};
+
+struct Config {
+  ControlMode mode = ControlMode::kLazyCtrl;
+  LatencyModel latency;
+  ControllerConfig controller;
+  GroupingConfig grouping;
+  FibConfig fib;
+  RuleConfig rules;
+  /// Designated switches report aggregated state this often (state link).
+  SimDuration state_report_period = 30 * kSecond;
+  /// Enable the per-group failure-detection wheel (keep-alive machinery);
+  /// off by default because long replays do not exercise failures.
+  bool failover_enabled = false;
+  /// Keep-alive period on the wheel when failover is enabled.
+  SimDuration keepalive_period = 1 * kSecond;
+  /// Keep-alives missed before declaring loss.
+  int keepalive_loss_threshold = 3;
+  /// Time for a remotely rebooted switch to come back (§III-E3).
+  SimDuration switch_reboot_delay = 10 * kSecond;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace lazyctrl::core

@@ -1,0 +1,63 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+namespace lazyctrl::core {
+
+CentralController::CentralController(const Config& config)
+    : config_(config),
+      servers_free_at_(std::max<std::size_t>(config.controller.servers, 1),
+                       0) {}
+
+void CentralController::clib_learn(MacAddress mac, HostId host,
+                                   TenantId tenant, SwitchId sw) {
+  clib_.insert_or_assign(mac, ClibEntry{host, tenant, sw});
+}
+
+void CentralController::clib_forget(MacAddress mac) { clib_.erase(mac); }
+
+std::optional<ClibEntry> CentralController::clib_lookup(MacAddress mac) const {
+  auto it = clib_.find(mac);
+  if (it == clib_.end()) return std::nullopt;
+  return it->second;
+}
+
+SimTime CentralController::admit_request(SimTime arrival) {
+  ++total_requests_;
+  ++window_requests_;
+  // Earliest-free server of the cluster takes the request.
+  auto it = std::min_element(servers_free_at_.begin(), servers_free_at_.end());
+  const SimTime start = std::max(arrival, *it);
+  const SimTime done = start + config_.latency.controller_service;
+  *it = done;
+  return done;
+}
+
+std::uint64_t CentralController::roll_window(SimTime /*now*/) {
+  const std::uint64_t n = window_requests_;
+  last_window_requests_ = static_cast<double>(n);
+  if (baseline_window_requests_ < 0) {
+    baseline_window_requests_ = last_window_requests_;
+  }
+  window_requests_ = 0;
+  return n;
+}
+
+bool CentralController::should_regroup(SimTime now) const {
+  if (!config_.grouping.dynamic_regrouping) return false;
+  if (now - last_update_at_ < config_.grouping.min_update_interval) {
+    return false;
+  }
+  if (baseline_window_requests_ < 0) return false;
+  // Accumulated growth of >= trigger (default 30%) since the last update.
+  const double floor = std::max(baseline_window_requests_, 1.0);
+  return last_window_requests_ >=
+         floor * (1.0 + config_.grouping.workload_growth_trigger);
+}
+
+void CentralController::note_regrouped(SimTime now) {
+  last_update_at_ = now;
+  baseline_window_requests_ = std::max(last_window_requests_, 1.0);
+}
+
+}  // namespace lazyctrl::core

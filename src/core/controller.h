@@ -1,0 +1,97 @@
+// Central controller (paper §III-B2, §IV-B).
+//
+// Maintains the C-LIB (global host-location map), a single-server queueing
+// model of request processing (the source of controller-load-dependent
+// latency), the per-window workload accounting that drives the regrouping
+// trigger, and the grouping state managed through SGI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mac.h"
+#include "common/time.h"
+#include "core/config.h"
+#include "core/sgi.h"
+
+namespace lazyctrl::core {
+
+/// One C-LIB record: where a host lives.
+struct ClibEntry {
+  HostId host;
+  TenantId tenant;
+  SwitchId attached_switch;
+};
+
+class CentralController {
+ public:
+  explicit CentralController(const Config& config);
+
+  // --- C-LIB ---
+  void clib_learn(MacAddress mac, HostId host, TenantId tenant, SwitchId sw);
+  void clib_forget(MacAddress mac);
+  [[nodiscard]] std::optional<ClibEntry> clib_lookup(MacAddress mac) const;
+  [[nodiscard]] std::size_t clib_size() const noexcept {
+    return clib_.size();
+  }
+
+  // --- request queueing model ---
+  /// Admits a request arriving (at the controller) at `arrival`; returns
+  /// the completion time after queueing + service on the earliest-free
+  /// server of the cluster. Also drives the workload window used by the
+  /// regrouping trigger.
+  SimTime admit_request(SimTime arrival);
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_free_at_.size();
+  }
+
+  [[nodiscard]] std::uint64_t total_requests() const noexcept {
+    return total_requests_;
+  }
+
+  // --- workload window / regrouping trigger (§IV-B) ---
+  /// Closes the current stats window at `now`; returns requests in it.
+  std::uint64_t roll_window(SimTime now);
+
+  /// True when the accumulated workload growth since the last grouping
+  /// update exceeds the trigger and the minimum interval has elapsed.
+  [[nodiscard]] bool should_regroup(SimTime now) const;
+
+  /// Records that a grouping update happened; resets the growth baseline
+  /// to the most recent window's workload.
+  void note_regrouped(SimTime now);
+
+  [[nodiscard]] double baseline_window_requests() const noexcept {
+    return baseline_window_requests_;
+  }
+  [[nodiscard]] double last_window_requests() const noexcept {
+    return last_window_requests_;
+  }
+
+  // --- grouping state ---
+  [[nodiscard]] Grouping& grouping() noexcept { return grouping_; }
+  [[nodiscard]] const Grouping& grouping() const noexcept { return grouping_; }
+  void set_grouping(Grouping g) { grouping_ = std::move(g); }
+
+ private:
+  Config config_;
+  std::unordered_map<MacAddress, ClibEntry> clib_;
+
+  // Queueing (FIFO over the cluster's servers; index = server).
+  std::vector<SimTime> servers_free_at_;
+  std::uint64_t total_requests_ = 0;
+
+  // Stats windows.
+  std::uint64_t window_requests_ = 0;
+  double last_window_requests_ = 0;
+  double baseline_window_requests_ = -1;  // <0 = not yet initialised
+  SimTime last_update_at_ = 0;
+
+  Grouping grouping_;
+};
+
+}  // namespace lazyctrl::core

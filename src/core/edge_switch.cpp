@@ -1,0 +1,58 @@
+#include "core/edge_switch.h"
+
+namespace lazyctrl::core {
+
+EdgeSwitch::EdgeSwitch(SwitchId id, IpAddress underlay_ip,
+                       MacAddress management_mac, const Config& config)
+    : id_(id),
+      underlay_ip_(underlay_ip),
+      management_mac_(management_mac),
+      gfib_(BloomParameters{config.fib.bloom_bits, config.fib.bloom_hashes}),
+      table_(config.rules.flow_table_capacity),
+      rule_ttl_(config.rules.rule_ttl) {}
+
+EdgeSwitch::Decision EdgeSwitch::decide(const net::Packet& p, SimTime now,
+                                        ControlMode mode) {
+  Decision d;
+
+  // Step 1 (both modes): flow-table lookup.
+  if (const openflow::FlowRule* rule = table_.lookup(p, now)) {
+    // Refresh the TTL (idle-timeout approximation).
+    const_cast<openflow::FlowRule*>(rule)->expires_at = now + rule_ttl_;
+    d.kind = DecisionKind::kFlowTableHit;
+    d.rule = rule;
+    return d;
+  }
+
+  if (mode == ControlMode::kOpenFlow) {
+    // Baseline: every miss is a PacketIn.
+    d.kind = DecisionKind::kToController;
+    return d;
+  }
+
+  // Step 2: L-FIB — is the destination attached to this switch?
+  if (lfib_.contains(p.dst_mac)) {
+    d.kind = DecisionKind::kLocalDeliver;
+    return d;
+  }
+
+  // Step 3: G-FIB — candidates inside the local control group.
+  std::vector<SwitchId> candidates = gfib_.query(p.dst_mac);
+  if (!candidates.empty()) {
+    d.kind = DecisionKind::kIntraGroup;
+    d.candidates = std::move(candidates);
+    return d;
+  }
+
+  // Step 4: destination provably outside the group -> controller.
+  d.kind = DecisionKind::kToController;
+  return d;
+}
+
+std::unordered_map<SwitchId, std::uint64_t> EdgeSwitch::take_window_counts() {
+  std::unordered_map<SwitchId, std::uint64_t> out;
+  out.swap(window_flows_);
+  return out;
+}
+
+}  // namespace lazyctrl::core

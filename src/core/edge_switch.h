@@ -1,0 +1,100 @@
+// Edge switch model (paper §III-D, Fig. 5 and §IV-A).
+//
+// Holds the three tables of a LazyCtrl edge switch — flow table, L-FIB and
+// G-FIB — plus group membership and the per-window traffic counters the
+// state-advertisement module reports upstream. The `decide` method is the
+// packet-forwarding routine of Fig. 5 restricted to the first packet of a
+// flow (the only packet that can change control-plane state); the network
+// harness turns the decision into latencies and metric updates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mac.h"
+#include "common/time.h"
+#include "core/config.h"
+#include "core/gfib.h"
+#include "core/lfib.h"
+#include "net/packet.h"
+#include "openflow/flow_table.h"
+
+namespace lazyctrl::core {
+
+class EdgeSwitch {
+ public:
+  EdgeSwitch(SwitchId id, IpAddress underlay_ip, MacAddress management_mac,
+             const Config& config);
+
+  [[nodiscard]] SwitchId id() const noexcept { return id_; }
+  [[nodiscard]] IpAddress underlay_ip() const noexcept { return underlay_ip_; }
+  [[nodiscard]] MacAddress management_mac() const noexcept {
+    return management_mac_;
+  }
+
+  [[nodiscard]] LFib& lfib() noexcept { return lfib_; }
+  [[nodiscard]] const LFib& lfib() const noexcept { return lfib_; }
+  [[nodiscard]] GFib& gfib() noexcept { return gfib_; }
+  [[nodiscard]] const GFib& gfib() const noexcept { return gfib_; }
+  [[nodiscard]] openflow::FlowTable& flow_table() noexcept { return table_; }
+
+  // --- group membership ---
+  void set_group(GroupId g) noexcept { group_ = g; }
+  [[nodiscard]] GroupId group() const noexcept { return group_; }
+  void set_designated(SwitchId d) noexcept { designated_ = d; }
+  [[nodiscard]] SwitchId designated() const noexcept { return designated_; }
+  [[nodiscard]] bool is_designated() const noexcept {
+    return designated_ == id_;
+  }
+
+  /// Reconfiguration window after a grouping update (appendix B preload).
+  void set_transition_until(SimTime t) noexcept { transition_until_ = t; }
+  [[nodiscard]] bool in_transition(SimTime now) const noexcept {
+    return now < transition_until_;
+  }
+
+  // --- Fig. 5 forwarding decision for a first packet ---
+  enum class DecisionKind : std::uint8_t {
+    kFlowTableHit,   ///< matched an installed rule
+    kLocalDeliver,   ///< L-FIB: destination attached locally
+    kIntraGroup,     ///< G-FIB candidates (may include false positives)
+    kToController,   ///< table miss everywhere -> PacketIn
+  };
+
+  struct Decision {
+    DecisionKind kind = DecisionKind::kToController;
+    /// Valid for kFlowTableHit (points into the flow table; not stable
+    /// across installs).
+    const openflow::FlowRule* rule = nullptr;
+    /// Valid for kIntraGroup: candidate peers, ascending id order.
+    std::vector<SwitchId> candidates;
+  };
+
+  /// Runs the Fig. 5 routine for `p` under `mode`. In OpenFlow mode only
+  /// the flow table is consulted (the baseline has no L-FIB/G-FIB logic);
+  /// in LazyCtrl mode the order is flow table -> L-FIB -> G-FIB ->
+  /// controller. Refreshes the TTL of a hit rule.
+  Decision decide(const net::Packet& p, SimTime now, ControlMode mode);
+
+  // --- state advertisement counters (per stats window) ---
+  void record_new_flow_to(SwitchId peer) { ++window_flows_[peer]; }
+  /// Drains and returns the per-peer new-flow counts for this window.
+  std::unordered_map<SwitchId, std::uint64_t> take_window_counts();
+
+ private:
+  SwitchId id_;
+  IpAddress underlay_ip_;
+  MacAddress management_mac_;
+  LFib lfib_;
+  GFib gfib_;
+  openflow::FlowTable table_;
+  GroupId group_;
+  SwitchId designated_;
+  SimTime transition_until_ = 0;
+  SimDuration rule_ttl_;
+  std::unordered_map<SwitchId, std::uint64_t> window_flows_;
+};
+
+}  // namespace lazyctrl::core

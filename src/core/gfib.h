@@ -1,0 +1,46 @@
+// G-FIB: Group Forwarding Information Base (paper §III-D2).
+//
+// A Bloom-filter replica of every group peer's L-FIB. Queries return the
+// peers that may host a MAC; an empty result proves the destination is
+// outside the group and the packet must go to the controller.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bloom/bloom_bank.h"
+#include "common/ids.h"
+#include "common/mac.h"
+
+namespace lazyctrl::core {
+
+class GFib {
+ public:
+  explicit GFib(BloomParameters params = {}) : bank_(params) {}
+
+  /// Installs/replaces the filter summarising `peer`'s attached MACs.
+  void sync_peer(SwitchId peer, const std::vector<MacAddress>& peer_macs) {
+    bank_.build_filter(peer, peer_macs);
+  }
+
+  void remove_peer(SwitchId peer) { bank_.remove_filter(peer); }
+  void clear() { bank_.clear(); }
+
+  /// Candidate locations for `mac` (possibly with false positives).
+  [[nodiscard]] std::vector<SwitchId> query(MacAddress mac) const {
+    return bank_.query(mac);
+  }
+
+  [[nodiscard]] std::size_t peer_count() const noexcept {
+    return bank_.filter_count();
+  }
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return bank_.storage_bytes();
+  }
+  [[nodiscard]] const BloomBank& bank() const noexcept { return bank_; }
+
+ private:
+  BloomBank bank_;
+};
+
+}  // namespace lazyctrl::core

@@ -1,0 +1,25 @@
+#include "core/lfib.h"
+
+namespace lazyctrl::core {
+
+bool LFib::learn(MacAddress mac, HostId host, TenantId tenant) {
+  auto [it, inserted] = entries_.insert_or_assign(mac, LFibEntry{host, tenant});
+  return inserted;
+}
+
+bool LFib::forget(MacAddress mac) { return entries_.erase(mac) > 0; }
+
+std::optional<LFibEntry> LFib::lookup(MacAddress mac) const {
+  auto it = entries_.find(mac);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MacAddress> LFib::macs() const {
+  std::vector<MacAddress> out;
+  out.reserve(entries_.size());
+  for (const auto& [mac, entry] : entries_) out.push_back(mac);
+  return out;
+}
+
+}  // namespace lazyctrl::core

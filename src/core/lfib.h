@@ -1,0 +1,45 @@
+// L-FIB: Local Forwarding Information Base (paper §III-D2).
+//
+// Tracks the hosts (VMs) attached to one edge switch, like the MAC table of
+// an ordinary L2 switch. Exact-match, no false positives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mac.h"
+
+namespace lazyctrl::core {
+
+struct LFibEntry {
+  HostId host;
+  TenantId tenant;
+};
+
+class LFib {
+ public:
+  /// Learns (or refreshes) a local host. Returns true if newly inserted.
+  bool learn(MacAddress mac, HostId host, TenantId tenant);
+
+  /// Forgets a host (VM migrated away or removed).
+  bool forget(MacAddress mac);
+
+  [[nodiscard]] std::optional<LFibEntry> lookup(MacAddress mac) const;
+  [[nodiscard]] bool contains(MacAddress mac) const {
+    return entries_.contains(mac);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// All local MACs (order unspecified); used to build peers' G-FIB filters.
+  [[nodiscard]] std::vector<MacAddress> macs() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<MacAddress, LFibEntry> entries_;
+};
+
+}  // namespace lazyctrl::core

@@ -1,0 +1,48 @@
+// Metrics collected during a control-plane run; everything the paper's
+// evaluation section reports is derived from these.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace lazyctrl::core {
+
+struct RunMetrics {
+  explicit RunMetrics(SimDuration horizon)
+      : controller_requests(kHour, horizon),
+        packet_latency(kHour, horizon),
+        grouping_updates(kHour, horizon) {}
+
+  /// One event per controller request (PacketIn / relayed ARP); Fig. 7's
+  /// workload series is this series' per-bucket rate.
+  TimeBucketSeries controller_requests;
+  /// Per-packet latency samples in milliseconds (Fig. 9).
+  TimeBucketSeries packet_latency;
+  /// One event per grouping update (Fig. 8).
+  TimeBucketSeries grouping_updates;
+
+  std::uint64_t flows_seen = 0;
+  std::uint64_t packets_accounted = 0;
+  std::uint64_t controller_packet_ins = 0;
+  std::uint64_t flows_local_delivery = 0;      ///< same-switch flows
+  std::uint64_t flows_intra_group = 0;         ///< handled by the LCG
+  std::uint64_t flows_inter_group = 0;         ///< controller-handled
+  std::uint64_t flows_flow_table_hit = 0;      ///< cached rule hits
+  std::uint64_t bf_false_positive_copies = 0;  ///< extra copies sent
+  std::uint64_t bf_misforward_drops = 0;       ///< copies dropped at peers
+  std::uint64_t peer_link_messages = 0;
+  std::uint64_t state_link_messages = 0;
+  std::uint64_t control_link_messages = 0;
+  std::uint64_t grouping_update_count = 0;
+  std::uint64_t preload_rules_installed = 0;
+  std::uint64_t transition_punts = 0;  ///< flows hit mid-transition w/o preload
+
+  /// Mean first-packet (setup) latency, milliseconds.
+  RunningStats first_packet_latency_ms;
+  /// Controller queueing delay per request, milliseconds.
+  RunningStats controller_queue_delay_ms;
+};
+
+}  // namespace lazyctrl::core

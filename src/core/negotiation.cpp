@@ -1,0 +1,89 @@
+#include "core/negotiation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lazyctrl::core {
+
+std::size_t negotiate_group_size(const NegotiationParams& p) {
+  const double dc = std::clamp(p.controller_discount, 0.0, 0.999999);
+  const double ds = std::clamp(p.switch_discount, 0.0, 0.999999);
+  // First-mover (controller) share of the contested surplus.
+  const double x = (1.0 - ds) / (1.0 - dc * ds);
+
+  const double lo = static_cast<double>(
+      std::min(p.switch_preferred_limit, p.controller_preferred_limit));
+  const double hi = static_cast<double>(
+      std::max(p.switch_preferred_limit, p.controller_preferred_limit));
+  // The controller pulls the outcome toward its preferred (larger) limit.
+  const double settled = lo + x * (hi - lo);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(settled)));
+}
+
+BargainingOutcome simulate_bargaining(const NegotiationParams& p,
+                                      double stubbornness, int max_rounds) {
+  const double dc = std::clamp(p.controller_discount, 0.0, 0.999999);
+  const double ds = std::clamp(p.switch_discount, 0.0, 0.999999);
+  stubbornness = std::clamp(stubbornness, 0.0, 0.999);
+
+  // Equilibrium continuation shares (of the *current* surplus): when the
+  // controller proposes it keeps xc, when the switches propose they keep
+  // xs. Standard Rubinstein values.
+  const double xc = (1.0 - ds) / (1.0 - dc * ds);
+  const double xs = (1.0 - dc) / (1.0 - dc * ds);
+
+  BargainingOutcome outcome;
+  double surplus = 1.0;  // shrinks by the proposer's discount each round
+  double controller_share = xc;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    const bool controller_proposes = (round % 2) == 0;
+    // The responder's equilibrium continuation value (next round they
+    // propose and keep their x*, discounted once).
+    const double responder_keep =
+        controller_proposes ? ds * xs : dc * xc;
+    // The proposer offers the responder their continuation value minus a
+    // stubbornness haircut; rational responders reject short offers.
+    const double offered = responder_keep * (1.0 - stubbornness);
+    const double proposer_share = 1.0 - offered;
+    const bool accepted = offered + 1e-12 >= responder_keep;
+
+    outcome.rounds.push_back(
+        BargainingRound{round, proposer_share, accepted});
+    if (accepted) {
+      const double controller_part =
+          controller_proposes ? proposer_share : offered;
+      controller_share = controller_part * surplus;
+      break;
+    }
+    // Rejection: the responder becomes the next proposer; the surplus
+    // decays by the *responder's* patience (they wait one period).
+    surplus *= controller_proposes ? ds : dc;
+    if (round == max_rounds - 1) {
+      controller_share = 0;  // breakdown: no agreement, no surplus
+    }
+  }
+
+  outcome.controller_share = controller_share;
+  const double lo = static_cast<double>(
+      std::min(p.switch_preferred_limit, p.controller_preferred_limit));
+  const double hi = static_cast<double>(
+      std::max(p.switch_preferred_limit, p.controller_preferred_limit));
+  outcome.group_size_limit = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(lo + outcome.controller_share * (hi - lo))));
+  return outcome;
+}
+
+std::size_t preferred_limit_from_memory(std::size_t memory_bytes,
+                                        std::size_t bloom_bytes_per_peer,
+                                        std::size_t reserved_bytes) {
+  if (bloom_bytes_per_peer == 0) return 1;
+  const std::size_t usable =
+      memory_bytes > reserved_bytes ? memory_bytes - reserved_bytes : 0;
+  // g - 1 peer filters fit => g = usable / per_peer + 1.
+  return std::max<std::size_t>(1, usable / bloom_bytes_per_peer + 1);
+}
+
+}  // namespace lazyctrl::core

@@ -1,0 +1,69 @@
+// Dynamic group-size negotiation (paper appendix C).
+//
+// The controller prefers large groups (less inter-group traffic, lazier
+// controller); switches prefer small groups (less high-speed memory spent
+// on G-FIBs and less peer-link chatter). The paper implements a modified
+// Rubinstein alternating-offers bargaining model; with discount factors
+// δc (controller) and δs (switches), the unique subgame-perfect equilibrium
+// awards the first mover (the controller) the share
+//
+//     x* = (1 - δs) / (1 - δc · δs)
+//
+// of the contested range, settled immediately. We map the shares onto the
+// interval [switch_preferred_limit, controller_preferred_limit].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lazyctrl::core {
+
+struct NegotiationParams {
+  /// Patience of the controller; closer to 1 = more patient = stronger.
+  double controller_discount = 0.95;
+  /// Patience of the switch side.
+  double switch_discount = 0.85;
+  /// The group size limit the controller would pick unilaterally.
+  std::size_t controller_preferred_limit = 128;
+  /// The limit the switches would pick unilaterally (memory constrained).
+  std::size_t switch_preferred_limit = 16;
+};
+
+/// Rubinstein equilibrium group-size limit. Always within
+/// [switch_preferred_limit, controller_preferred_limit] and >= 1.
+[[nodiscard]] std::size_t negotiate_group_size(const NegotiationParams& p);
+
+/// One step of the explicit alternating-offers game.
+struct BargainingRound {
+  int round = 0;          ///< 0-based; even = controller proposes
+  double offer_share = 0; ///< proposer's claimed share of the surplus
+  bool accepted = false;  ///< responder accepted this offer
+};
+
+struct BargainingOutcome {
+  std::vector<BargainingRound> rounds;
+  /// Share of the contested range awarded to the controller at agreement.
+  double controller_share = 0;
+  std::size_t group_size_limit = 1;
+};
+
+/// Plays the alternating-offers game explicitly: each proposer offers the
+/// responder exactly the discounted continuation value (the subgame-
+/// perfect strategy), so the very first offer is accepted and matches the
+/// closed form of negotiate_group_size — the simulation exists to document
+/// and test that equivalence, and to support experimenting with
+/// off-equilibrium strategies via `stubbornness` (a fraction of the
+/// responder's continuation value the proposer tries to withhold, which
+/// delays agreement and burns surplus through discounting).
+BargainingOutcome simulate_bargaining(const NegotiationParams& p,
+                                      double stubbornness = 0.0,
+                                      int max_rounds = 64);
+
+/// Derives the limit a switch can afford from its fast-memory budget:
+/// a group of size g requires (g - 1) Bloom filters of
+/// `bloom_bytes_per_peer` each, plus headroom for the flow table.
+[[nodiscard]] std::size_t preferred_limit_from_memory(
+    std::size_t memory_bytes, std::size_t bloom_bytes_per_peer,
+    std::size_t reserved_bytes = 0);
+
+}  // namespace lazyctrl::core

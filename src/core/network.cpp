@@ -1,0 +1,644 @@
+#include "core/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/log.h"
+#include "net/packet.h"
+
+namespace lazyctrl::core {
+
+namespace {
+
+std::uint64_t switch_pair_key(SwitchId a, SwitchId b) {
+  std::uint32_t lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+Network::Network(topo::Topology topology, Config config)
+    : topology_(std::move(topology)),
+      config_(config),
+      rng_(config.seed),
+      controller_(config),
+      sgi_(SgiOptions{config.grouping.group_size_limit,
+                      config.grouping.max_incupdate_iterations,
+                      config.grouping.parallel_incupdate, 3}) {
+  switches_.reserve(topology_.switch_count());
+  for (const topo::SwitchInfo& info : topology_.switches()) {
+    switches_.push_back(std::make_unique<EdgeSwitch>(
+        info.id, info.underlay_ip, info.management_mac, config_));
+  }
+  metrics_ = std::make_unique<RunMetrics>(horizon_);
+}
+
+void Network::bootstrap() {
+  graph::WeightedGraph empty(topology_.switch_count());
+  bootstrap(empty);
+}
+
+void Network::bootstrap(const graph::WeightedGraph& history_intensity) {
+  assert(!bootstrapped_);
+  bootstrapped_ = true;
+
+  // Live state dissemination at bootstrap (§III-D3): every switch learns
+  // its attached hosts; the controller builds the C-LIB.
+  compute_excluded_hosts();
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    switches_[h.attached_switch.value()]->lfib().learn(h.mac, h.id, h.tenant);
+    controller_.clib_learn(h.mac, h.id, h.tenant, h.attached_switch);
+  }
+
+  if (config_.mode != ControlMode::kLazyCtrl) return;
+
+  // IniGroup: initial grouping from history (paper: first-hour traffic).
+  Grouping grouping = sgi_.initial_grouping(history_intensity, rng_);
+  apply_grouping(std::move(grouping), /*initial=*/true, {});
+}
+
+void Network::compute_excluded_hosts() {
+  excluded_hosts_.clear();
+  const std::size_t threshold =
+      config_.grouping.host_exclusion_tenant_threshold;
+  if (threshold == 0 || config_.mode != ControlMode::kLazyCtrl) return;
+
+  // Appendix B: on switches serving more tenants than the threshold, hosts
+  // of the smallest local tenants are excluded from grouping and handled by
+  // the controller directly.
+  for (const topo::SwitchInfo& sw : topology_.switches()) {
+    std::map<std::uint32_t, std::vector<HostId>> by_tenant;
+    for (HostId h : topology_.hosts_on_switch(sw.id)) {
+      by_tenant[topology_.host_info(h).tenant.value()].push_back(h);
+    }
+    if (by_tenant.size() <= threshold) continue;
+    // Keep the `threshold` tenants with the most local hosts.
+    std::vector<std::pair<std::size_t, std::uint32_t>> ranked;
+    ranked.reserve(by_tenant.size());
+    for (const auto& [tenant, hosts] : by_tenant) {
+      ranked.push_back({hosts.size(), tenant});
+    }
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    for (std::size_t i = threshold; i < ranked.size(); ++i) {
+      for (HostId h : by_tenant[ranked[i].second]) {
+        excluded_hosts_.insert(h.value());
+      }
+    }
+  }
+}
+
+void Network::select_designated(const std::vector<SwitchId>& members) {
+  if (members.empty()) return;
+  // The paper selects the designated switch randomly (§III-A overview) or
+  // by a configurable principle; random keeps the model simple.
+  const SwitchId designated =
+      members[rng_.next_below(members.size())];
+  for (SwitchId m : members) {
+    switches_[m.value()]->set_designated(designated);
+  }
+}
+
+void Network::rebuild_group_fib(const std::vector<SwitchId>& members) {
+  // Collect per-member MAC lists (excluded hosts are invisible to G-FIBs).
+  std::vector<std::vector<MacAddress>> macs(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (HostId h : topology_.hosts_on_switch(members[i])) {
+      if (!excluded_hosts_.contains(h.value())) {
+        macs[i].push_back(topology_.host_info(h).mac);
+      }
+    }
+  }
+  // Dissemination cost (§III-B3 peer links): each member sends its L-FIB to
+  // the designated switch, which relays the bundle to every member.
+  if (members.size() > 1) {
+    metrics_->peer_link_messages += 2 * (members.size() - 1);
+  }
+  metrics_->state_link_messages += 1;  // designated -> controller
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EdgeSwitch& sw = *switches_[members[i].value()];
+    sw.gfib().clear();
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (i == j) continue;
+      sw.gfib().sync_peer(members[j], macs[j]);
+    }
+  }
+}
+
+void Network::apply_grouping(Grouping grouping, bool initial,
+                             const std::vector<GroupId>& touched) {
+  grouping.compact();
+  controller_.set_grouping(std::move(grouping));
+  const Grouping& g = controller_.grouping();
+  const auto members = g.members();
+
+  std::vector<bool> rebuild(members.size(), initial);
+  if (!initial) {
+    for (GroupId t : touched) {
+      if (t.value() < rebuild.size()) rebuild[t.value()] = true;
+    }
+  }
+
+  const SimTime now = simulator_.now();
+  for (std::size_t gi = 0; gi < members.size(); ++gi) {
+    for (SwitchId m : members[gi]) {
+      switches_[m.value()]->set_group(GroupId{static_cast<std::uint32_t>(gi)});
+    }
+    if (!rebuild[gi]) continue;
+    select_designated(members[gi]);
+    rebuild_group_fib(members[gi]);
+    if (!initial) {
+      for (SwitchId m : members[gi]) {
+        EdgeSwitch& sw = *switches_[m.value()];
+        sw.set_transition_until(now + config_.grouping.transition_window);
+        if (config_.grouping.preload_on_update) {
+          // Appendix B: the controller preloads temporary rules so flows
+          // keep forwarding while G-FIBs resettle.
+          ++metrics_->preload_rules_installed;
+          ++metrics_->control_link_messages;
+        }
+      }
+    }
+  }
+
+  if (config_.failover_enabled) rebuild_failure_wheels();
+}
+
+void Network::rebuild_failure_wheels() {
+  for (auto& wheel : wheels_) wheel->stop();
+  wheels_.clear();
+
+  for (const auto& group : controller_.grouping().members()) {
+    if (group.empty()) continue;
+    // §III-D1: the controller orders the ring by management MAC.
+    std::vector<SwitchId> ring = group;
+    std::sort(ring.begin(), ring.end(), [this](SwitchId a, SwitchId b) {
+      return switches_[a.value()]->management_mac() <
+             switches_[b.value()]->management_mac();
+    });
+    const SwitchId designated = switches_[group.front().value()]->designated();
+    // Backups: the two ring neighbours of the designated switch.
+    std::vector<SwitchId> backups;
+    if (ring.size() > 1) {
+      const auto it = std::find(ring.begin(), ring.end(), designated);
+      const std::size_t idx =
+          static_cast<std::size_t>(std::distance(ring.begin(), it));
+      backups.push_back(ring[(idx + 1) % ring.size()]);
+      if (ring.size() > 2) {
+        backups.push_back(ring[(idx + ring.size() - 1) % ring.size()]);
+      }
+    }
+    auto wheel = std::make_unique<FailureWheel>(simulator_, std::move(ring),
+                                                designated, backups, config_);
+    wheel->start();
+    wheels_.push_back(std::move(wheel));
+  }
+}
+
+FailureWheel* Network::wheel_of(SwitchId sw) {
+  if (wheels_.empty()) return nullptr;
+  const GroupId g = switches_[sw.value()]->group();
+  if (!g.valid() || g.value() >= wheels_.size()) return nullptr;
+  return wheels_[g.value()].get();
+}
+
+SimDuration Network::controller_round_trip(SimTime now, SwitchId via) {
+  // Control-link detour (§III-E2): a switch whose control link failed
+  // reaches the controller through its upstream ring neighbour, adding a
+  // peer-link hop each way.
+  SimDuration detour = 0;
+  if (via.valid() && !wheels_.empty()) {
+    if (FailureWheel* wheel = wheel_of(via);
+        wheel != nullptr && wheel->control_relayed(via)) {
+      detour = config_.latency.datapath + config_.latency.switch_processing;
+    }
+  }
+  const SimTime arrival = now + detour + config_.latency.control_link;
+  metrics_->controller_requests.add_event(arrival);
+  ++metrics_->controller_packet_ins;
+  metrics_->control_link_messages += 2;  // PacketIn + FlowMod/PacketOut
+
+  const SimTime start =
+      std::max(arrival, controller_.admit_request(arrival) -
+                            config_.latency.controller_service);
+  const SimTime done = start + config_.latency.controller_service;
+  metrics_->controller_queue_delay_ms.add(to_milliseconds(start - arrival));
+  return (done + config_.latency.control_link + detour) - now;
+}
+
+void Network::install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
+                                    SwitchId dst_sw, bool exact_match,
+                                    SimTime now) {
+  openflow::FlowRule rule;
+  rule.priority = 10;
+  rule.match.tenant = pkt.tenant;
+  rule.match.dst_mac = pkt.dst_mac;
+  if (exact_match) rule.match.src_mac = pkt.src_mac;  // OpenFlow baseline
+  if (dst_sw == sw.id()) {
+    rule.action.type = openflow::ActionType::kForwardLocal;
+  } else {
+    rule.action.type = openflow::ActionType::kEncapTo;
+    rule.action.remote_switch = dst_sw;
+    rule.action.tunnel_dst = switches_[dst_sw.value()]->underlay_ip();
+  }
+  rule.installed_at = now;
+  rule.expires_at = now + config_.rules.rule_ttl;
+  sw.flow_table().install(rule);
+}
+
+void Network::account_flow_latency(const workload::Flow& flow,
+                                   SimDuration first_packet,
+                                   SimDuration steady_packet) {
+  metrics_->first_packet_latency_ms.add(to_milliseconds(first_packet));
+  metrics_->packet_latency.add(flow.start, to_milliseconds(first_packet));
+  if (flow.packets > 1) {
+    metrics_->packet_latency.add_n(flow.start,
+                                   to_milliseconds(steady_packet),
+                                   flow.packets - 1);
+  }
+  metrics_->packets_accounted += flow.packets;
+}
+
+void Network::on_flow(const workload::Flow& flow) {
+  ++metrics_->flows_seen;
+  const topo::HostInfo& src = topology_.host_info(flow.src);
+  const topo::HostInfo& dst = topology_.host_info(flow.dst);
+  const SwitchId src_sw = src.attached_switch;
+  const SwitchId dst_sw = dst.attached_switch;
+
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::kData;
+  pkt.src_mac = src.mac;
+  pkt.dst_mac = dst.mac;
+  pkt.tenant = src.tenant;
+  pkt.payload_bytes = flow.avg_packet_bytes;
+  pkt.flow_id = flow.id;
+  pkt.created_at = flow.start;
+
+  if (src_sw != dst_sw) {
+    switches_[src_sw.value()]->record_new_flow_to(dst_sw);
+  }
+
+  if (config_.mode == ControlMode::kOpenFlow) {
+    handle_flow_openflow(flow, src_sw, dst_sw, pkt);
+  } else {
+    handle_flow_lazyctrl(flow, src_sw, dst_sw, pkt);
+  }
+}
+
+void Network::handle_flow_openflow(const workload::Flow& flow,
+                                   SwitchId src_sw, SwitchId dst_sw,
+                                   const net::Packet& pkt) {
+  const SimTime now = flow.start;
+  const LatencyModel& lat = config_.latency;
+  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
+  const SimDuration cross_path =
+      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
+  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
+
+  EdgeSwitch& sw = *switches_[src_sw.value()];
+  EdgeSwitch::Decision d = sw.decide(pkt, now, ControlMode::kOpenFlow);
+  if (d.kind == EdgeSwitch::DecisionKind::kFlowTableHit) {
+    ++metrics_->flows_flow_table_hit;
+    account_flow_latency(flow, steady, steady);
+    return;
+  }
+  // Every miss is a PacketIn; the controller resolves via C-LIB and
+  // installs an exact-match rule (Floodlight learning-switch behaviour).
+  const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
+  install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/true, now);
+  account_flow_latency(flow, steady + ctrl, steady);
+}
+
+void Network::handle_flow_lazyctrl(const workload::Flow& flow,
+                                   SwitchId src_sw, SwitchId dst_sw,
+                                   const net::Packet& pkt) {
+  const SimTime now = flow.start;
+  const LatencyModel& lat = config_.latency;
+  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
+  const SimDuration cross_path =
+      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
+  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
+
+  EdgeSwitch& sw = *switches_[src_sw.value()];
+
+  // Appendix B host exclusion: excluded hosts are controller-handled.
+  const bool excluded = excluded_hosts_.contains(flow.src.value()) ||
+                        excluded_hosts_.contains(flow.dst.value());
+
+  // Grouping transition window (appendix B preload).
+  if (!excluded && sw.in_transition(now)) {
+    if (config_.grouping.preload_on_update) {
+      // Preloaded temporary rule absorbs the transition.
+      ++metrics_->flows_flow_table_hit;
+      account_flow_latency(flow, steady, steady);
+      return;
+    }
+    ++metrics_->transition_punts;
+    const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
+    install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+    account_flow_latency(flow, steady + ctrl, steady);
+    return;
+  }
+
+  EdgeSwitch::Decision d = sw.decide(pkt, now, ControlMode::kLazyCtrl);
+
+  if (excluded && d.kind != EdgeSwitch::DecisionKind::kFlowTableHit &&
+      d.kind != EdgeSwitch::DecisionKind::kLocalDeliver) {
+    // Controller-managed host: fine-grained control, with rule caching.
+    const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
+    install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+    ++metrics_->flows_inter_group;
+    account_flow_latency(flow, steady + ctrl, steady);
+    return;
+  }
+
+  switch (d.kind) {
+    case EdgeSwitch::DecisionKind::kFlowTableHit: {
+      ++metrics_->flows_flow_table_hit;
+      account_flow_latency(flow, steady, steady);
+      return;
+    }
+    case EdgeSwitch::DecisionKind::kLocalDeliver: {
+      ++metrics_->flows_local_delivery;
+      account_flow_latency(flow, local_path, local_path);
+      return;
+    }
+    case EdgeSwitch::DecisionKind::kIntraGroup: {
+      const bool has_dst = std::binary_search(d.candidates.begin(),
+                                              d.candidates.end(), dst_sw);
+      if (has_dst) {
+        // Normal intra-group delivery; extra copies are BF false positives
+        // dropped at the mis-targeted peers (Fig. 5 encapsulated branch).
+        ++metrics_->flows_intra_group;
+        const std::uint64_t extras = d.candidates.size() - 1;
+        metrics_->bf_false_positive_copies += extras * flow.packets;
+        metrics_->bf_misforward_drops += extras * flow.packets;
+        account_flow_latency(flow, cross_path, cross_path);
+        return;
+      }
+      // Pure false positive: the destination is outside the group but some
+      // filter matched. All copies are dropped at the receivers; per the
+      // optional §III-D4 rule, the mis-forward is reported so the
+      // controller installs an exact rule and forwards the packet.
+      metrics_->bf_false_positive_copies += d.candidates.size();
+      metrics_->bf_misforward_drops += d.candidates.size();
+      const SimDuration report_at = cross_path;  // copy reached wrong peer
+      const SimDuration ctrl = controller_round_trip(now + report_at);
+      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+      ++metrics_->flows_inter_group;
+      account_flow_latency(flow, report_at + ctrl + lat.datapath, steady);
+      return;
+    }
+    case EdgeSwitch::DecisionKind::kToController: {
+      // Inter-group flow: PacketIn, coarse (tenant, dst) rule installed.
+      const SimDuration ctrl =
+          controller_round_trip(now + lat.host_link, src_sw);
+      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+      ++metrics_->flows_inter_group;
+      account_flow_latency(flow, steady + ctrl, steady);
+      return;
+    }
+  }
+}
+
+graph::WeightedGraph Network::recent_intensity_graph() const {
+  graph::WeightedGraph g(topology_.switch_count());
+  const double window_sec = to_seconds(config_.grouping.stats_window);
+  for (const auto& [key, count] : recent_pair_counts_) {
+    const auto hi = static_cast<graph::VertexId>(key >> 32);
+    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
+    g.add_edge(lo, hi, count / window_sec);
+  }
+  return g;
+}
+
+void Network::roll_stats_window() {
+  const SimTime now = simulator_.now();
+  controller_.roll_window(now);
+
+  // Drain per-switch traffic counters into the EWMA intensity estimate
+  // (state advertisement -> designated -> controller path). The decay
+  // smooths per-window noise so IncUpdate reacts to persistent shifts.
+  const double decay = std::clamp(config_.grouping.intensity_ewma_decay,
+                                  0.0, 0.999);
+  for (auto& [key, value] : recent_pair_counts_) value *= decay;
+  recent_flow_mass_ *= decay;
+  for (const auto& sw : switches_) {
+    for (const auto& [peer, count] : sw->take_window_counts()) {
+      recent_pair_counts_[switch_pair_key(sw->id(), peer)] +=
+          static_cast<double>(count);
+      recent_flow_mass_ += static_cast<double>(count);
+    }
+  }
+  // Drop negligible residue so the map does not grow unboundedly.
+  std::erase_if(recent_pair_counts_,
+                [](const auto& kv) { return kv.second < 1e-3; });
+
+  if (config_.mode != ControlMode::kLazyCtrl) return;
+  if (recent_flow_mass_ < config_.grouping.min_update_flow_evidence) return;
+  if (!controller_.should_regroup(now)) return;
+
+  Grouping grouping = controller_.grouping();  // copy for in-place update
+  const Sgi::UpdateResult result =
+      sgi_.incremental_update(grouping, recent_intensity_graph(), rng_);
+  controller_.note_regrouped(now);
+  if (result.touched_groups.empty()) return;  // no profitable move
+
+  LOG_DEBUG("grouping update at t=" << to_seconds(now)
+                                    << "s, Winter " << result.inter_group_before
+                                    << " -> " << result.inter_group_after);
+  apply_grouping(std::move(grouping), /*initial=*/false,
+                 result.touched_groups);
+  ++metrics_->grouping_update_count;
+  metrics_->grouping_updates.add_event(now);
+}
+
+void Network::schedule_migration(HostId host, SwitchId to, SimTime at) {
+  assert(!replayed_);
+  pending_migrations_.push_back({host, to, at});
+}
+
+void Network::perform_migration(HostId host, SwitchId to) {
+  const topo::HostInfo before = topology_.host_info(host);
+  const SwitchId from = topology_.migrate_host(host, to);
+  if (from == to) return;
+
+  // Live dissemination (§III-D3): old switch forgets, new switch learns,
+  // C-LIB updates, and the affected groups resync the two changed L-FIBs.
+  switches_[from.value()]->lfib().forget(before.mac);
+  switches_[to.value()]->lfib().learn(before.mac, host, before.tenant);
+  controller_.clib_learn(before.mac, host, before.tenant, to);
+  metrics_->control_link_messages += 1;
+
+  // Stale rules pointing at the old location are revoked.
+  for (const auto& sw : switches_) {
+    sw->flow_table().remove_rules_for_destination(before.mac);
+  }
+
+  if (config_.mode == ControlMode::kLazyCtrl &&
+      controller_.grouping().group_count > 0) {
+    const auto members = controller_.grouping().members();
+    const auto refresh = [&](SwitchId changed) {
+      const GroupId g = controller_.grouping().group_of(changed);
+      rebuild_group_fib(members[g.value()]);
+    };
+    refresh(from);
+    if (controller_.grouping().group_of(from) !=
+        controller_.grouping().group_of(to)) {
+      refresh(to);
+    }
+  }
+}
+
+void Network::replay(const workload::Trace& trace) {
+  assert(bootstrapped_ && "call bootstrap() before replay()");
+  assert(!replayed_);
+  replayed_ = true;
+  horizon_ = trace.horizon;
+  // Re-bucket the time series to the trace horizon but keep the scalar
+  // counters accumulated during bootstrap (dissemination messages etc.).
+  auto fresh = std::make_unique<RunMetrics>(horizon_);
+  fresh->peer_link_messages = metrics_->peer_link_messages;
+  fresh->state_link_messages = metrics_->state_link_messages;
+  fresh->control_link_messages = metrics_->control_link_messages;
+  fresh->preload_rules_installed = metrics_->preload_rules_installed;
+  metrics_ = std::move(fresh);
+
+  // Periodic machinery.
+  const sim::EventId window_timer = simulator_.schedule_periodic(
+      config_.grouping.stats_window, [this] { roll_stats_window(); });
+  const sim::EventId report_timer = simulator_.schedule_periodic(
+      config_.state_report_period, [this] {
+        if (config_.mode == ControlMode::kLazyCtrl) {
+          metrics_->state_link_messages +=
+              controller_.grouping().group_count;
+        }
+      });
+
+  // Migrations.
+  for (const PendingMigration& m : pending_migrations_) {
+    simulator_.schedule_at(
+        m.at, [this, m] { perform_migration(m.host, m.to); });
+  }
+
+  // Cursor-driven flow injection: one pending event at a time.
+  if (!trace.flows.empty()) {
+    const std::vector<workload::Flow>* flows = &trace.flows;
+    auto inject = std::make_shared<std::function<void(std::size_t)>>();
+    *inject = [this, flows, inject](std::size_t i) {
+      on_flow((*flows)[i]);
+      if (i + 1 < flows->size()) {
+        simulator_.schedule_at((*flows)[i + 1].start,
+                               [inject, i](){ (*inject)(i + 1); });
+      }
+    };
+    simulator_.schedule_at(trace.flows.front().start,
+                           [inject] { (*inject)(0); });
+  }
+
+  simulator_.run_until(trace.horizon);
+  simulator_.cancel(window_timer);
+  simulator_.cancel(report_timer);
+}
+
+HostId Network::add_silent_host(TenantId tenant, SwitchId sw) {
+  return topology_.add_host(tenant, sw);
+}
+
+SimDuration Network::cold_cache_first_packet(HostId src_id, HostId dst_id) {
+  const topo::HostInfo& src = topology_.host_info(src_id);
+  const topo::HostInfo& dst = topology_.host_info(dst_id);
+  const SwitchId src_sw = src.attached_switch;
+  const SwitchId dst_sw = dst.attached_switch;
+  const LatencyModel& lat = config_.latency;
+  const SimTime now = simulator_.now();
+
+  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
+  const SimDuration cross_path =
+      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
+
+  if (config_.mode == ControlMode::kOpenFlow) {
+    // Baseline cold cache (§V-E: the learning-switch module learns the
+    // topology through ARP flooding): the ARP request is a PacketIn, the
+    // controller floods it (PacketOut), the reply is another PacketIn
+    // relayed back, and the first data packet is a third PacketIn resolved
+    // into a FlowMod. Once the controller has learned a destination's
+    // location the ARP round trips are skipped and only flow setup remains.
+    SimDuration total = lat.host_link + lat.switch_processing;
+    if (!controller_.clib_lookup(dst.mac).has_value()) {
+      total += controller_round_trip(now + total);         // ARP request in
+      total += lat.datapath + lat.switch_processing;       // flood to edge
+      total += lat.host_link * 2;                          // dst host replies
+      total += controller_round_trip(now + total);         // ARP reply in
+      total += lat.datapath + lat.host_link;               // reply delivered
+      total += lat.host_link + lat.switch_processing;      // first data pkt
+    }
+    total += controller_round_trip(now + total);           // flow setup
+    total += lat.datapath + lat.switch_processing + lat.host_link;
+
+    // Locations are now learned.
+    switches_[src_sw.value()]->lfib().learn(src.mac, src_id, src.tenant);
+    switches_[dst_sw.value()]->lfib().learn(dst.mac, dst_id, dst.tenant);
+    controller_.clib_learn(src.mac, src_id, src.tenant, src_sw);
+    controller_.clib_learn(dst.mac, dst_id, dst.tenant, dst_sw);
+    net::Packet first;
+    first.src_mac = src.mac;
+    first.dst_mac = dst.mac;
+    first.tenant = src.tenant;
+    first.created_at = now;
+    install_reactive_rule(*switches_[src_sw.value()], first, dst_sw,
+                          /*exact_match=*/true, now);
+    return total;
+  }
+
+  // LazyCtrl: the live-dissemination cascade of §III-D3.
+  EdgeSwitch& ssw = *switches_[src_sw.value()];
+  ssw.lfib().learn(src.mac, src_id, src.tenant);  // level i: learn source
+  controller_.clib_learn(src.mac, src_id, src.tenant, src_sw);
+
+  SimDuration total = lat.host_link + lat.switch_processing;
+  if (dst_sw == src_sw) {
+    // Local flood answers immediately.
+    total += lat.host_link * 2;  // request to host, reply back
+    total += local_path;         // first data packet
+  } else {
+    const bool same_group =
+        controller_.grouping().group_count > 0 &&
+        controller_.grouping().group_of(src_sw) ==
+            controller_.grouping().group_of(dst_sw);
+    // Level ii: designated switch broadcasts inside the group.
+    total += lat.datapath + lat.switch_processing;  // to designated
+    total += lat.datapath + lat.switch_processing;  // designated -> members
+    metrics_->peer_link_messages += 2;
+    if (!same_group) {
+      // Level iii: controller relays to other groups of this tenant.
+      total += controller_round_trip(now + total);
+      total += lat.datapath + lat.switch_processing;  // relay -> members
+      metrics_->state_link_messages += 1;
+    }
+    total += lat.host_link * 2;            // dst host replies
+    total += lat.datapath + lat.host_link; // reply direct to source
+    total += cross_path;                   // first data packet
+  }
+
+  // Learn the destination group/network-wide.
+  EdgeSwitch& dsw = *switches_[dst_sw.value()];
+  dsw.lfib().learn(dst.mac, dst_id, dst.tenant);
+  controller_.clib_learn(dst.mac, dst_id, dst.tenant, dst_sw);
+  if (controller_.grouping().group_count > 0) {
+    const auto members = controller_.grouping().members();
+    rebuild_group_fib(members[controller_.grouping().group_of(dst_sw).value()]);
+  }
+  return total;
+}
+
+std::size_t Network::total_gfib_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sw : switches_) total += sw->gfib().storage_bytes();
+  return total;
+}
+
+}  // namespace lazyctrl::core

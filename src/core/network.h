@@ -1,0 +1,173 @@
+// Network: the top-level façade wiring topology, switches, controller and
+// simulator into a runnable control-plane experiment.
+//
+// This object plays the role of the paper's testbed (§V-A): it owns a copy
+// of the topology, one EdgeSwitch per physical edge switch, the central
+// controller, and a deterministic discrete-event simulator. A run is:
+//
+//   Network net(topology, config);
+//   net.bootstrap(history_intensity_graph);   // setup phase + IniGroup
+//   net.replay(trace);                        // drive flows, adapt grouping
+//   net.metrics();                            // everything Figs. 7-9 need
+//
+// The same class runs the baseline (Config.mode = kOpenFlow), where the
+// grouping machinery is inert and every table miss is a controller event.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/edge_switch.h"
+#include "core/failover.h"
+#include "core/metrics.h"
+#include "core/sgi.h"
+#include "graph/weighted_graph.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::core {
+
+class Network {
+ public:
+  /// Takes a copy of the topology (migrations mutate it) and the run config.
+  Network(topo::Topology topology, Config config);
+
+  /// Setup phase (§III-D1): populates L-FIBs and the C-LIB from the current
+  /// VM placement, and — in LazyCtrl mode — computes the initial grouping
+  /// from `history_intensity` (IniGroup), selects designated switches and
+  /// builds all G-FIBs.
+  void bootstrap(const graph::WeightedGraph& history_intensity);
+
+  /// Bootstrap without traffic history: LazyCtrl groups switches by index
+  /// order (still size-constrained); OpenFlow mode ignores grouping.
+  void bootstrap();
+
+  /// Replays a trace to its horizon, driving flow setup, state reports and
+  /// (when enabled) dynamic regrouping. May be called once per Network.
+  void replay(const workload::Trace& trace);
+
+  /// Schedules a VM migration during replay (must be called before replay).
+  void schedule_migration(HostId host, SwitchId to, SimTime at);
+
+  // --- cold-cache experiment support (§V-E) ---
+  /// Adds a host that no FIB knows about yet (newly deployed VM).
+  HostId add_silent_host(TenantId tenant, SwitchId sw);
+  /// Resolves `dst` from scratch (ARP cascade of §III-D3) and returns the
+  /// first-packet latency of a fresh flow src -> dst, learning locations as
+  /// a side effect. Works in both control modes.
+  SimDuration cold_cache_first_packet(HostId src, HostId dst);
+
+  // --- accessors ---
+  [[nodiscard]] const RunMetrics& metrics() const noexcept {
+    return *metrics_;
+  }
+  [[nodiscard]] RunMetrics& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] EdgeSwitch& edge_switch(SwitchId id) {
+    return *switches_.at(id.value());
+  }
+  [[nodiscard]] CentralController& controller() noexcept {
+    return controller_;
+  }
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] const Grouping& grouping() const noexcept {
+    return controller_.grouping();
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const std::unordered_set<std::uint32_t>& excluded_hosts()
+      const noexcept {
+    return excluded_hosts_;
+  }
+  /// Total G-FIB storage across all switches, in bytes.
+  [[nodiscard]] std::size_t total_gfib_bytes() const;
+
+  // --- failover (active when config.failover_enabled) ---
+  /// The failure-detection wheel of the group `sw` belongs to, or nullptr
+  /// when failover is disabled / the switch is ungrouped.
+  [[nodiscard]] FailureWheel* wheel_of(SwitchId sw);
+  [[nodiscard]] std::size_t wheel_count() const noexcept {
+    return wheels_.size();
+  }
+
+ private:
+  struct PathDelays {
+    SimDuration local;  ///< host -> switch -> host, same switch
+    SimDuration cross;  ///< host -> switch -> underlay -> switch -> host
+  };
+
+  void on_flow(const workload::Flow& flow);
+  void handle_flow_lazyctrl(const workload::Flow& flow, SwitchId src_sw,
+                            SwitchId dst_sw, const net::Packet& pkt);
+  void handle_flow_openflow(const workload::Flow& flow, SwitchId src_sw,
+                            SwitchId dst_sw, const net::Packet& pkt);
+
+  /// PacketIn round trip: request at `now` from a switch, rule back.
+  /// Returns the added delay and records workload metrics.
+  /// PacketIn round trip from `via` (invalid = generic path). When the
+  /// failure wheel has detoured `via`'s control link through its upstream
+  /// ring neighbour (§III-E2), both directions pay an extra peer-link hop.
+  SimDuration controller_round_trip(SimTime now,
+                                    SwitchId via = SwitchId::invalid());
+
+  /// Installs the coarse inter-group rule (LazyCtrl) or the exact-match
+  /// rule (OpenFlow) for a resolved flow.
+  void install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
+                             SwitchId dst_sw, bool exact_match, SimTime now);
+
+  void account_flow_latency(const workload::Flow& flow,
+                            SimDuration first_packet,
+                            SimDuration steady_packet);
+
+  void apply_grouping(Grouping grouping, bool initial,
+                      const std::vector<GroupId>& touched);
+  void rebuild_group_fib(const std::vector<SwitchId>& members);
+  void select_designated(const std::vector<SwitchId>& members);
+  void compute_excluded_hosts();
+  void rebuild_failure_wheels();
+  void perform_migration(HostId host, SwitchId to);
+  void roll_stats_window();
+  graph::WeightedGraph recent_intensity_graph() const;
+
+  topo::Topology topology_;
+  Config config_;
+  sim::Simulator simulator_;
+  Rng rng_;
+  CentralController controller_;
+  std::vector<std::unique_ptr<EdgeSwitch>> switches_;
+  std::unique_ptr<RunMetrics> metrics_;
+  Sgi sgi_;
+
+  /// Host ids excluded from grouping (appendix B); flows touching them are
+  /// controller-handled.
+  std::unordered_set<std::uint32_t> excluded_hosts_;
+
+  /// EWMA of switch-pair new-flow counts over recent stats windows.
+  std::unordered_map<std::uint64_t, double> recent_pair_counts_;
+  /// EWMA of total flows represented in recent_pair_counts_.
+  double recent_flow_mass_ = 0.0;
+
+  struct PendingMigration {
+    HostId host;
+    SwitchId to;
+    SimTime at;
+  };
+  std::vector<PendingMigration> pending_migrations_;
+
+  /// One failure-detection wheel per group (empty unless failover enabled).
+  std::vector<std::unique_ptr<FailureWheel>> wheels_;
+
+  bool bootstrapped_ = false;
+  bool replayed_ = false;
+  SimDuration horizon_ = 24 * kHour;
+};
+
+}  // namespace lazyctrl::core

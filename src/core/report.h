@@ -1,0 +1,38 @@
+// Human-readable run reports.
+//
+// Formats RunMetrics (and comparisons between two runs) into the tabular
+// summaries the examples and benches print, so the presentation logic
+// lives in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/network.h"
+
+namespace lazyctrl::core {
+
+struct ReportOptions {
+  /// Aggregate the hourly series into buckets of this many hours.
+  int hours_per_bucket = 2;
+  /// Include the per-bucket time series (otherwise totals only).
+  bool include_series = true;
+};
+
+/// Writes a one-run summary: classification counters, controller load,
+/// latency, dissemination message counts, storage.
+void write_report(std::ostream& out, const Network& network,
+                  const ReportOptions& options = {});
+
+/// Writes a side-by-side comparison of a baseline and a LazyCtrl run,
+/// ending with the workload-reduction line of Fig. 7.
+void write_comparison(std::ostream& out, const Network& baseline,
+                      const Network& lazyctrl,
+                      const ReportOptions& options = {});
+
+/// Convenience: the report as a string.
+std::string report_string(const Network& network,
+                          const ReportOptions& options = {});
+
+}  // namespace lazyctrl::core

@@ -1,0 +1,47 @@
+#include "graph/bisection.h"
+
+#include <algorithm>
+
+#include "graph/multilevel_partitioner.h"
+
+namespace lazyctrl::graph {
+
+BisectionResult min_bisection(const WeightedGraph& g, Weight max_side_weight,
+                              Rng& rng) {
+  BisectionResult result;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return result;
+
+  MultilevelPartitioner partitioner;
+  PartitionConstraints c{max_side_weight};
+  Partition p = partitioner.partition(g, 2, c, rng);
+
+  // The size-constrained partitioner may return more than two parts when the
+  // limit forces it; fold extras into the lighter of the first two sides
+  // greedily (rare; only when total weight > 2 * limit).
+  result.side.assign(n, 0);
+  if (p.part_count <= 2) {
+    for (VertexId v = 0; v < n; ++v) result.side[v] = p.assignment[v];
+  } else {
+    std::vector<Weight> weights = part_weights(g, p);
+    // Map each extra part to side 0 or 1, lighter side first.
+    Weight side_w[2] = {weights.size() > 0 ? weights[0] : 0,
+                        weights.size() > 1 ? weights[1] : 0};
+    std::vector<PartId> map(p.part_count, 0);
+    if (p.part_count > 1) map[1] = 1;
+    for (PartId q = 2; q < p.part_count; ++q) {
+      const PartId target = side_w[0] <= side_w[1] ? 0 : 1;
+      map[q] = target;
+      side_w[target] += weights[q];
+    }
+    for (VertexId v = 0; v < n; ++v) result.side[v] = map[p.assignment[v]];
+  }
+
+  Partition two;
+  two.assignment = result.side;
+  two.part_count = 2;
+  result.cut_weight = cut_weight(g, two);
+  return result;
+}
+
+}  // namespace lazyctrl::graph

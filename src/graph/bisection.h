@@ -1,0 +1,26 @@
+// Balanced minimum bisection used by SGI's IncUpdate merge-and-split step
+// (§III-C2): after merging the two groups with the largest traffic growth,
+// the combined vertex set is split back into two groups such that the cut
+// between them is minimised and both sides respect the group size limit.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/partition.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+struct BisectionResult {
+  /// side[v] in {0, 1} for each vertex of the input graph.
+  std::vector<PartId> side;
+  Weight cut_weight = 0;
+};
+
+/// Splits `g` into two parts, each of weight <= `max_side_weight`, with a
+/// small cut (multilevel 2-way partition + FM refinement). If `g` cannot be
+/// split under the limit (total weight > 2 * limit), the split still returns
+/// with both sides as close to the limit as the repair step can get.
+BisectionResult min_bisection(const WeightedGraph& g, Weight max_side_weight,
+                              Rng& rng);
+
+}  // namespace lazyctrl::graph

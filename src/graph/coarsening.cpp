@@ -1,0 +1,89 @@
+#include "graph/coarsening.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lazyctrl::graph {
+
+CoarseLevel coarsen_once(const WeightedGraph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  constexpr VertexId kUnmatched = static_cast<VertexId>(-1);
+  std::vector<VertexId> match(n, kUnmatched);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  // Heavy-edge matching.
+  for (VertexId u : order) {
+    if (match[u] != kUnmatched) continue;
+    VertexId best = kUnmatched;
+    Weight best_w = -1;
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (match[nb.vertex] == kUnmatched && nb.vertex != u &&
+          nb.weight > best_w) {
+        best = nb.vertex;
+        best_w = nb.weight;
+      }
+    }
+    if (best != kUnmatched) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays singleton
+    }
+  }
+
+  // Number coarse vertices: the lower-indexed endpoint of each pair owns it.
+  std::vector<VertexId> fine_to_coarse(n, kUnmatched);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (fine_to_coarse[v] != kUnmatched) continue;
+    const VertexId partner = match[v];
+    fine_to_coarse[v] = next;
+    if (partner != v) fine_to_coarse[partner] = next;
+    ++next;
+  }
+
+  WeightedGraph coarse(next);
+  {
+    // Coarse vertex weight = sum of its constituents' weights.
+    std::vector<Weight> sums(next, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      sums[fine_to_coarse[v]] += g.vertex_weight(v);
+    }
+    for (VertexId cv = 0; cv < next; ++cv) {
+      coarse.set_vertex_weight(cv, sums[cv]);
+    }
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (nb.vertex <= u) continue;  // visit each fine edge once
+      const VertexId cu = fine_to_coarse[u];
+      const VertexId cv = fine_to_coarse[nb.vertex];
+      if (cu != cv) coarse.add_edge(cu, cv, nb.weight);
+    }
+  }
+
+  return CoarseLevel{std::move(coarse), std::move(fine_to_coarse)};
+}
+
+std::vector<CoarseLevel> coarsen_to(const WeightedGraph& g,
+                                    std::size_t target_vertices, Rng& rng) {
+  std::vector<CoarseLevel> levels;
+  const WeightedGraph* current = &g;
+  while (current->vertex_count() > std::max<std::size_t>(target_vertices, 2)) {
+    CoarseLevel level = coarsen_once(*current, rng);
+    const std::size_t before = current->vertex_count();
+    const std::size_t after = level.graph.vertex_count();
+    if (after >= before || (before - after) * 10 < before) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+  }
+  return levels;
+}
+
+}  // namespace lazyctrl::graph

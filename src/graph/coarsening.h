@@ -1,0 +1,36 @@
+// Graph coarsening by heavy-edge matching (HEM), the first phase of the
+// multi-level k-way partitioning scheme of Karypis & Kumar that the paper's
+// SGI algorithm builds on (§III-C2).
+//
+// HEM visits vertices in random order and matches each unmatched vertex with
+// the unmatched neighbour joined by the heaviest edge; matched pairs collapse
+// into a single coarse vertex whose weight is the pair sum, and parallel
+// edges merge by adding weights. This shrinks the graph roughly 2x per level
+// while preserving heavy edges inside coarse vertices, so the coarse cut is
+// a faithful proxy for the fine cut.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+/// One coarsening level: the coarse graph plus the fine->coarse vertex map.
+struct CoarseLevel {
+  WeightedGraph graph;
+  /// fine_to_coarse[v_fine] = v_coarse
+  std::vector<VertexId> fine_to_coarse;
+};
+
+/// Collapses `g` one level via heavy-edge matching.
+CoarseLevel coarsen_once(const WeightedGraph& g, Rng& rng);
+
+/// Repeatedly coarsens until at most `target_vertices` vertices remain or
+/// a level shrinks the graph by less than ~10% (diminishing returns).
+/// Returns levels in coarsening order: levels[0] is one step from `g`.
+std::vector<CoarseLevel> coarsen_to(const WeightedGraph& g,
+                                    std::size_t target_vertices, Rng& rng);
+
+}  // namespace lazyctrl::graph

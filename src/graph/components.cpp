@@ -1,0 +1,45 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace lazyctrl::graph {
+
+ComponentInfo connected_components(const WeightedGraph& g,
+                                   Weight min_edge_weight) {
+  const std::size_t n = g.vertex_count();
+  constexpr VertexId kUnvisited = static_cast<VertexId>(-1);
+  ComponentInfo info;
+  info.component.assign(n, kUnvisited);
+
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (info.component[root] != kUnvisited) continue;
+    const auto id = static_cast<VertexId>(info.component_count++);
+    info.sizes.push_back(0);
+    stack.push_back(root);
+    info.component[root] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++info.sizes[id];
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (nb.weight < min_edge_weight) continue;
+        if (info.component[nb.vertex] == kUnvisited) {
+          info.component[nb.vertex] = id;
+          stack.push_back(nb.vertex);
+        }
+      }
+    }
+  }
+  info.largest = info.sizes.empty()
+                     ? 0
+                     : *std::max_element(info.sizes.begin(), info.sizes.end());
+  return info;
+}
+
+bool is_connected(const WeightedGraph& g) {
+  if (g.vertex_count() == 0) return true;
+  return connected_components(g).component_count == 1;
+}
+
+}  // namespace lazyctrl::graph

@@ -1,0 +1,32 @@
+// Connected components and small structural statistics over weighted
+// graphs. Used by the workload analyzers (how fragmented is the heavy-pair
+// graph?) and as a sanity layer under the partitioner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+struct ComponentInfo {
+  /// component[v] = dense component index of vertex v.
+  std::vector<VertexId> component;
+  std::size_t component_count = 0;
+  /// Vertex count per component, indexed by component id.
+  std::vector<std::size_t> sizes;
+  /// Largest component's vertex count (0 for the empty graph).
+  std::size_t largest = 0;
+};
+
+/// Computes connected components, optionally ignoring edges lighter than
+/// `min_edge_weight` (use e.g. to look at the heavy-pair subgraph).
+ComponentInfo connected_components(const WeightedGraph& g,
+                                   Weight min_edge_weight = 0);
+
+/// True if all vertices are reachable from vertex 0 (empty graphs count as
+/// connected).
+bool is_connected(const WeightedGraph& g);
+
+}  // namespace lazyctrl::graph

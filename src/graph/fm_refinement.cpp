@@ -1,0 +1,240 @@
+#include "graph/fm_refinement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+namespace lazyctrl::graph {
+
+namespace {
+
+/// Connectivity of `v` to each part among its neighbours plus its own part.
+/// Returned map: part -> sum of edge weights from v into that part.
+std::unordered_map<PartId, Weight> part_connectivity(const WeightedGraph& g,
+                                                     const Partition& p,
+                                                     VertexId v) {
+  std::unordered_map<PartId, Weight> conn;
+  for (const Neighbor& n : g.neighbors(v)) {
+    conn[p.assignment[n.vertex]] += n.weight;
+  }
+  return conn;
+}
+
+}  // namespace
+
+namespace {
+
+/// One greedy pass: move boundary vertices to their best positive-gain part
+/// subject to the size constraint. Returns the gain achieved.
+Weight greedy_pass(const WeightedGraph& g, Partition& p,
+                   const PartitionConstraints& c, std::vector<Weight>& weights,
+                   std::vector<VertexId>& order, Rng& rng) {
+  rng.shuffle(order);
+  Weight pass_gain = 0;
+  for (VertexId v : order) {
+    const PartId from = p.assignment[v];
+    const auto conn = part_connectivity(g, p, v);
+    Weight internal = 0;
+    if (auto it = conn.find(from); it != conn.end()) internal = it->second;
+
+    PartId best_part = from;
+    Weight best_gain = 0;
+    const Weight vw = g.vertex_weight(v);
+    for (const auto& [part, w] : conn) {
+      if (part == from) continue;
+      if (weights[part] + vw > c.max_part_weight) continue;
+      const Weight gain = w - internal;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_part = part;
+      }
+    }
+    if (best_part != from) {
+      weights[from] -= vw;
+      weights[best_part] += vw;
+      p.assignment[v] = best_part;
+      pass_gain += best_gain;
+    }
+  }
+  return pass_gain;
+}
+
+/// One Fiduccia-Mattheyses pass: a sequence of best-admissible moves (each
+/// vertex at most once, negative gains allowed), keeping the prefix with the
+/// best cumulative gain and rolling the rest back. Escapes local optima the
+/// greedy pass cannot. O(n^2 * degree) — used on small graphs only.
+Weight fm_pass(const WeightedGraph& g, Partition& p,
+               const PartitionConstraints& c, std::vector<Weight>& weights) {
+  const std::size_t n = g.vertex_count();
+  std::vector<char> moved(n, 0);
+  struct Move {
+    VertexId v;
+    PartId from;
+    PartId to;
+  };
+  std::vector<Move> sequence;
+  sequence.reserve(n);
+  Weight cum = 0, best_cum = 0;
+  std::size_t best_len = 0;
+
+  for (std::size_t step = 0; step < n; ++step) {
+    VertexId best_v = 0;
+    PartId best_dest = kUnassigned;
+    Weight best_gain = -std::numeric_limits<Weight>::max();
+    for (VertexId v = 0; v < n; ++v) {
+      if (moved[v]) continue;
+      const PartId from = p.assignment[v];
+      const auto conn = part_connectivity(g, p, v);
+      Weight internal = 0;
+      if (auto it = conn.find(from); it != conn.end()) internal = it->second;
+      const Weight vw = g.vertex_weight(v);
+      for (const auto& [part, w] : conn) {
+        if (part == from) continue;
+        if (weights[part] + vw > c.max_part_weight) continue;
+        const Weight gain = w - internal;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_v = v;
+          best_dest = part;
+        }
+      }
+    }
+    if (best_dest == kUnassigned) break;  // no admissible move left
+
+    const PartId from = p.assignment[best_v];
+    const Weight vw = g.vertex_weight(best_v);
+    weights[from] -= vw;
+    weights[best_dest] += vw;
+    p.assignment[best_v] = best_dest;
+    moved[best_v] = 1;
+    sequence.push_back({best_v, from, best_dest});
+    cum += best_gain;
+    if (cum > best_cum + 1e-12) {
+      best_cum = cum;
+      best_len = sequence.size();
+    }
+    // Heuristic cutoff: deep negative plateaus rarely recover.
+    if (cum < best_cum - 0.25 * (std::abs(best_cum) + 1.0) &&
+        sequence.size() > best_len + 16) {
+      break;
+    }
+  }
+
+  // Roll back everything after the best prefix.
+  for (std::size_t i = sequence.size(); i-- > best_len;) {
+    const Move& m = sequence[i];
+    const Weight vw = g.vertex_weight(m.v);
+    weights[m.to] -= vw;
+    weights[m.from] += vw;
+    p.assignment[m.v] = m.from;
+  }
+  return best_cum;
+}
+
+}  // namespace
+
+Weight refine_partition(const WeightedGraph& g, Partition& p,
+                        const PartitionConstraints& c, const RefineOptions& o,
+                        Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0 || p.part_count <= 1) return 0;
+
+  std::vector<Weight> weights = part_weights(g, p);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  Weight total_gain = 0;
+  for (int pass = 0; pass < o.max_passes; ++pass) {
+    Weight pass_gain = greedy_pass(g, p, c, weights, order, rng);
+    if (n <= o.hill_climb_vertex_limit) {
+      pass_gain += fm_pass(g, p, c, weights);
+    }
+    total_gain += pass_gain;
+    if (pass_gain <= 1e-12) break;
+  }
+  return total_gain;
+}
+
+bool repair_overweight(const WeightedGraph& g, Partition& p,
+                       const PartitionConstraints& c, Rng& rng) {
+  std::vector<Weight> weights = part_weights(g, p);
+  // Parts containing a single vertex that alone exceeds the limit can never
+  // be fixed; they are frozen so the loop terminates and they stop acting
+  // as move destinations.
+  std::vector<bool> frozen(weights.size(), false);
+  bool all_single_fit = true;
+
+  // Process overweight parts until none remain. Each iteration moves the
+  // vertex whose removal hurts the cut least to the best part with room.
+  while (true) {
+    PartId over = kUnassigned;
+    for (PartId part = 0; part < weights.size(); ++part) {
+      if (!frozen[part] && weights[part] > c.max_part_weight + 1e-9) {
+        over = part;
+        break;
+      }
+    }
+    if (over == kUnassigned) break;
+
+    // Gather the members of the overweight part.
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (p.assignment[v] == over) members.push_back(v);
+    }
+    if (members.size() == 1) {
+      // A single vertex heavier than the limit cannot be fixed.
+      all_single_fit = false;
+      frozen[over] = true;
+      continue;
+    }
+    rng.shuffle(members);
+
+    // Pick the member whose move loses the least cut weight.
+    VertexId best_v = members.front();
+    PartId best_dest = kUnassigned;
+    Weight best_loss = std::numeric_limits<Weight>::max();
+    for (VertexId v : members) {
+      const Weight vw = g.vertex_weight(v);
+      const auto conn = part_connectivity(g, p, v);
+      Weight internal = 0;
+      if (auto it = conn.find(over); it != conn.end()) internal = it->second;
+      // Candidate destinations: connected parts first, then any with room.
+      for (PartId dest = 0; dest < weights.size(); ++dest) {
+        if (dest == over || frozen[dest]) continue;
+        if (weights[dest] + vw > c.max_part_weight) continue;
+        Weight external = 0;
+        if (auto it = conn.find(dest); it != conn.end()) external = it->second;
+        const Weight loss = internal - external;
+        if (loss < best_loss) {
+          best_loss = loss;
+          best_v = v;
+          best_dest = dest;
+        }
+      }
+    }
+
+    if (best_dest == kUnassigned) {
+      // No existing part has room: open a new one.
+      best_dest = static_cast<PartId>(p.part_count);
+      ++p.part_count;
+      weights.push_back(0);
+      frozen.push_back(false);
+      // Move the lightest member to maximise progress.
+      best_v = *std::min_element(members.begin(), members.end(),
+                                 [&](VertexId a, VertexId b) {
+                                   return g.vertex_weight(a) <
+                                          g.vertex_weight(b);
+                                 });
+    }
+
+    const Weight vw = g.vertex_weight(best_v);
+    weights[over] -= vw;
+    weights[best_dest] += vw;
+    p.assignment[best_v] = best_dest;
+  }
+  return all_single_fit;
+}
+
+}  // namespace lazyctrl::graph

@@ -1,0 +1,38 @@
+// Boundary refinement and feasibility repair for k-way partitions.
+//
+// This is the uncoarsening-phase move engine of MLkP: a Fiduccia-Mattheyses
+// style greedy pass that moves boundary vertices to the neighbouring part
+// with the highest gain, subject to the size constraint. Gains are the
+// classic KL/FM external-minus-internal edge weights.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/partition.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+struct RefineOptions {
+  /// Maximum number of full passes over the boundary per invocation.
+  int max_passes = 8;
+  /// Graphs up to this many vertices additionally get true FM passes with
+  /// tentative negative moves and rollback (escapes the local optima the
+  /// greedy positive-gain pass stalls in). Larger graphs rely on the cheap
+  /// greedy pass only, as in boundary-limited production partitioners.
+  std::size_t hill_climb_vertex_limit = 1024;
+};
+
+/// Greedily improves `p` in place without violating `c`.
+/// Returns the total cut-weight reduction achieved (>= 0).
+Weight refine_partition(const WeightedGraph& g, Partition& p,
+                        const PartitionConstraints& c, const RefineOptions& o,
+                        Rng& rng);
+
+/// Moves vertices out of overweight parts until every part satisfies the
+/// size constraint, creating new parts when nothing else has room (the
+/// grouping problem allows a variable number of groups, §III-C1). Returns
+/// false only if some single vertex alone exceeds the limit.
+bool repair_overweight(const WeightedGraph& g, Partition& p,
+                       const PartitionConstraints& c, Rng& rng);
+
+}  // namespace lazyctrl::graph

@@ -1,0 +1,85 @@
+#include "graph/min_cut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lazyctrl::graph {
+
+MinCutResult stoer_wagner_min_cut(const WeightedGraph& g) {
+  const std::size_t n = g.vertex_count();
+  MinCutResult best;
+  best.cut_weight = std::numeric_limits<Weight>::max();
+  if (n < 2) {
+    best.cut_weight = 0;
+    return best;
+  }
+
+  // Dense adjacency copy the contraction steps can mutate.
+  std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      w[u][nb.vertex] = nb.weight;
+    }
+  }
+
+  // merged_into[v] tracks the set of original vertices each super-vertex
+  // represents, so we can report the cut side.
+  std::vector<std::vector<VertexId>> members(n);
+  for (VertexId v = 0; v < n; ++v) members[v] = {v};
+
+  std::vector<VertexId> active(n);
+  for (VertexId v = 0; v < n; ++v) active[v] = v;
+
+  while (active.size() > 1) {
+    // Maximum adjacency (minimum cut phase) ordering.
+    std::vector<Weight> conn(n, 0);
+    std::vector<char> in_a(n, 0);
+    VertexId prev = active[0];
+    in_a[prev] = 1;
+    for (VertexId x : active) conn[x] = w[prev][x];
+
+    VertexId last = prev;
+    for (std::size_t step = 1; step < active.size(); ++step) {
+      VertexId pick = static_cast<VertexId>(-1);
+      Weight pick_conn = -1;
+      for (VertexId x : active) {
+        if (!in_a[x] && conn[x] > pick_conn) {
+          pick_conn = conn[x];
+          pick = x;
+        }
+      }
+      in_a[pick] = 1;
+      prev = last;
+      last = pick;
+      for (VertexId x : active) {
+        if (!in_a[x]) conn[x] += w[pick][x];
+      }
+    }
+
+    // Cut-of-the-phase: `last` alone vs the rest.
+    Weight phase_cut = 0;
+    for (VertexId x : active) {
+      if (x != last) phase_cut += w[last][x];
+    }
+    if (phase_cut < best.cut_weight) {
+      best.cut_weight = phase_cut;
+      best.side = members[last];
+    }
+
+    // Contract `last` into `prev`.
+    for (VertexId x : active) {
+      if (x == last || x == prev) continue;
+      w[prev][x] += w[last][x];
+      w[x][prev] = w[prev][x];
+    }
+    members[prev].insert(members[prev].end(), members[last].begin(),
+                         members[last].end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+}  // namespace lazyctrl::graph

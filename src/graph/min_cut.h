@@ -1,0 +1,27 @@
+// Stoer-Wagner global minimum cut.
+//
+// The paper's IncUpdate step cites Stoer-Wagner ("A simple min-cut
+// algorithm", 1997) as the tool for re-splitting a merged group pair. We
+// provide the exact algorithm for small graphs (O(V^3), used in tests and
+// for small groups) while the production split path uses the multilevel
+// balanced bisection in bisection.h.
+#pragma once
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+struct MinCutResult {
+  Weight cut_weight = 0;
+  /// Vertices on one side of the cut (the smaller phase-cut side).
+  std::vector<VertexId> side;
+};
+
+/// Computes the global minimum cut of a connected graph with >= 2 vertices.
+/// For disconnected graphs the result is a zero-weight cut separating one
+/// component.
+MinCutResult stoer_wagner_min_cut(const WeightedGraph& g);
+
+}  // namespace lazyctrl::graph

@@ -1,0 +1,182 @@
+#include "graph/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/coarsening.h"
+
+namespace lazyctrl::graph {
+
+Partition MultilevelPartitioner::initial_partition(
+    const WeightedGraph& g, std::size_t k, const PartitionConstraints& c,
+    Rng& rng) const {
+  const std::size_t n = g.vertex_count();
+  Partition p;
+  p.assignment.assign(n, kUnassigned);
+  p.part_count = k;
+
+  // Balanced growth target, never above the hard limit.
+  const Weight balanced =
+      g.total_vertex_weight() / static_cast<double>(std::max<std::size_t>(k, 1));
+  const Weight target = std::min(c.max_part_weight, balanced * 1.1);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::size_t cursor = 0;  // next candidate seed in `order`
+
+  std::vector<Weight> weights(k, 0);
+  std::size_t assigned = 0;
+
+  for (PartId part = 0; part < k && assigned < n; ++part) {
+    // Seed with the first still-unassigned vertex in random order.
+    while (cursor < n && p.assignment[order[cursor]] != kUnassigned) ++cursor;
+    if (cursor >= n) break;
+    const VertexId seed = order[cursor];
+    p.assignment[seed] = part;
+    weights[part] += g.vertex_weight(seed);
+    ++assigned;
+
+    // Grow by repeatedly absorbing the unassigned vertex with the largest
+    // connectivity to the part (simple O(boundary * degree) scan; coarsest
+    // graphs are small by construction).
+    std::vector<Weight> conn(n, 0);
+    for (const Neighbor& nb : g.neighbors(seed)) conn[nb.vertex] += nb.weight;
+
+    while (weights[part] < target && assigned < n) {
+      VertexId best = static_cast<VertexId>(-1);
+      Weight best_conn = -1;
+      for (VertexId v = 0; v < n; ++v) {
+        if (p.assignment[v] != kUnassigned || conn[v] <= 0) continue;
+        if (weights[part] + g.vertex_weight(v) > c.max_part_weight) continue;
+        if (conn[v] > best_conn) {
+          best_conn = conn[v];
+          best = v;
+        }
+      }
+      if (best == static_cast<VertexId>(-1)) break;  // frontier exhausted
+      p.assignment[best] = part;
+      weights[part] += g.vertex_weight(best);
+      ++assigned;
+      for (const Neighbor& nb : g.neighbors(best)) conn[nb.vertex] += nb.weight;
+    }
+  }
+
+  // Leftovers: attach to the connected part with most affinity and room,
+  // falling back to the lightest part with room, else a fresh part.
+  for (VertexId v = 0; v < n; ++v) {
+    if (p.assignment[v] != kUnassigned) continue;
+    const Weight vw = g.vertex_weight(v);
+
+    PartId best_part = kUnassigned;
+    Weight best_conn = 0;
+    std::vector<Weight> conn(p.part_count, 0);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const PartId q = p.assignment[nb.vertex];
+      if (q != kUnassigned) conn[q] += nb.weight;
+    }
+    for (PartId q = 0; q < p.part_count; ++q) {
+      if (weights[q] + vw > c.max_part_weight) continue;
+      if (conn[q] > best_conn) {
+        best_conn = conn[q];
+        best_part = q;
+      }
+    }
+    if (best_part == kUnassigned) {
+      Weight lightest = std::numeric_limits<Weight>::max();
+      for (PartId q = 0; q < p.part_count; ++q) {
+        if (weights[q] + vw <= c.max_part_weight && weights[q] < lightest) {
+          lightest = weights[q];
+          best_part = q;
+        }
+      }
+    }
+    if (best_part == kUnassigned) {
+      best_part = static_cast<PartId>(p.part_count);
+      ++p.part_count;
+      weights.push_back(0);
+    }
+    p.assignment[v] = best_part;
+    weights[best_part] += vw;
+  }
+  return p;
+}
+
+Partition MultilevelPartitioner::partition(const WeightedGraph& g,
+                                           std::size_t k,
+                                           const PartitionConstraints& c,
+                                           Rng& rng) const {
+  if (options_.restarts > 1) {
+    MultilevelPartitioner single(MlkpOptions{
+        options_.coarsen_target_per_part, options_.refine_passes, 1});
+    Partition best;
+    Weight best_cut = std::numeric_limits<Weight>::max();
+    for (int attempt = 0; attempt < options_.restarts; ++attempt) {
+      Partition p = single.partition(g, k, c, rng);
+      const Weight cut = cut_weight(g, p);
+      const bool feasible = is_feasible(g, p, c);
+      const bool best_feasible =
+          !best.assignment.empty() && is_feasible(g, best, c);
+      // Prefer feasible results, then lower cut.
+      if (best.assignment.empty() || (feasible && !best_feasible) ||
+          (feasible == best_feasible && cut < best_cut)) {
+        best = std::move(p);
+        best_cut = cut;
+      }
+    }
+    return best;
+  }
+
+  const std::size_t n = g.vertex_count();
+  Partition result;
+  if (n == 0) {
+    result.part_count = 0;
+    return result;
+  }
+  k = std::clamp<std::size_t>(k, 1, n);
+
+  const RefineOptions refine_opts{options_.refine_passes};
+
+  // Small graphs skip the multilevel machinery entirely.
+  const std::size_t coarsen_target =
+      std::max<std::size_t>(k * options_.coarsen_target_per_part, 2 * k);
+  if (n <= coarsen_target) {
+    result = initial_partition(g, k, c, rng);
+    repair_overweight(g, result, c, rng);
+    refine_partition(g, result, c, refine_opts, rng);
+    repair_overweight(g, result, c, rng);
+    compact_parts(result);
+    return result;
+  }
+
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels = coarsen_to(g, coarsen_target, rng);
+
+  // Initial partition on the coarsest graph.
+  const WeightedGraph& coarsest = levels.empty() ? g : levels.back().graph;
+  Partition p = initial_partition(coarsest, k, c, rng);
+  repair_overweight(coarsest, p, c, rng);
+  refine_partition(coarsest, p, c, refine_opts, rng);
+
+  // Uncoarsening with per-level refinement.
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const WeightedGraph& fine = (i == 0) ? g : levels[i - 1].graph;
+    Partition projected;
+    projected.part_count = p.part_count;
+    projected.assignment.resize(fine.vertex_count());
+    for (VertexId v = 0; v < fine.vertex_count(); ++v) {
+      projected.assignment[v] = p.assignment[levels[i].fine_to_coarse[v]];
+    }
+    repair_overweight(fine, projected, c, rng);
+    refine_partition(fine, projected, c, refine_opts, rng);
+    p = std::move(projected);
+  }
+
+  repair_overweight(g, p, c, rng);
+  compact_parts(p);
+  return p;
+}
+
+}  // namespace lazyctrl::graph

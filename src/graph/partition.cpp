@@ -1,0 +1,58 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+namespace lazyctrl::graph {
+
+Weight cut_weight(const WeightedGraph& g, const Partition& p) {
+  Weight cut = 0;
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const Neighbor& n : g.neighbors(u)) {
+      if (n.vertex > u && p.assignment[u] != p.assignment[n.vertex]) {
+        cut += n.weight;
+      }
+    }
+  }
+  return cut;
+}
+
+double normalized_cut(const WeightedGraph& g, const Partition& p) {
+  const Weight total = g.total_edge_weight();
+  if (total <= 0) return 0.0;
+  return cut_weight(g, p) / total;
+}
+
+std::vector<Weight> part_weights(const WeightedGraph& g, const Partition& p) {
+  std::vector<Weight> weights(p.part_count, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const PartId part = p.assignment[v];
+    if (part < weights.size()) weights[part] += g.vertex_weight(v);
+  }
+  return weights;
+}
+
+bool is_feasible(const WeightedGraph& g, const Partition& p,
+                 const PartitionConstraints& c) {
+  if (p.assignment.size() != g.vertex_count()) return false;
+  for (PartId part : p.assignment) {
+    if (part == kUnassigned || part >= p.part_count) return false;
+  }
+  for (Weight w : part_weights(g, p)) {
+    if (w > c.max_part_weight + 1e-9) return false;
+  }
+  return true;
+}
+
+std::size_t compact_parts(Partition& p) {
+  std::vector<PartId> remap(p.part_count, kUnassigned);
+  PartId next = 0;
+  for (PartId& part : p.assignment) {
+    if (part == kUnassigned) continue;
+    if (remap[part] == kUnassigned) remap[part] = next++;
+    part = remap[part];
+  }
+  p.part_count = next;
+  return next;
+}
+
+}  // namespace lazyctrl::graph

@@ -1,0 +1,49 @@
+// Partition representation and quality metrics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+
+using PartId = std::uint32_t;
+constexpr PartId kUnassigned = std::numeric_limits<PartId>::max();
+
+/// A k-way partition: assignment[v] gives the part of vertex v.
+struct Partition {
+  std::vector<PartId> assignment;
+  std::size_t part_count = 0;
+};
+
+/// Constraints the switch grouping problem adds on top of plain k-way
+/// partitioning (paper §III-C1): each part's total vertex weight must not
+/// exceed `max_part_weight` (the group size limit); the number of parts is
+/// otherwise free.
+struct PartitionConstraints {
+  Weight max_part_weight = std::numeric_limits<Weight>::max();
+};
+
+/// Total weight of edges whose endpoints lie in different parts (Winter
+/// numerator before normalisation).
+[[nodiscard]] Weight cut_weight(const WeightedGraph& g, const Partition& p);
+
+/// cut_weight / total edge weight, in [0,1]; 0 when the graph has no edges.
+[[nodiscard]] double normalized_cut(const WeightedGraph& g,
+                                    const Partition& p);
+
+/// Per-part vertex-weight sums (index = part id).
+[[nodiscard]] std::vector<Weight> part_weights(const WeightedGraph& g,
+                                               const Partition& p);
+
+/// True iff every vertex is assigned to a part < part_count and every part
+/// weight respects the constraint.
+[[nodiscard]] bool is_feasible(const WeightedGraph& g, const Partition& p,
+                               const PartitionConstraints& c);
+
+/// Renumbers parts to remove empty ids; returns the new part count.
+std::size_t compact_parts(Partition& p);
+
+}  // namespace lazyctrl::graph

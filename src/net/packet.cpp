@@ -1,0 +1,49 @@
+#include "net/packet.h"
+
+#include <cassert>
+
+namespace lazyctrl::net {
+
+Packet encapsulate(const Packet& p, IpAddress src, IpAddress dst) {
+  assert(!p.encapsulated && "double encapsulation");
+  Packet out = p;
+  out.encapsulated = true;
+  out.tunnel_src = src;
+  out.tunnel_dst = dst;
+  return out;
+}
+
+Packet decapsulate(const Packet& p) {
+  assert(p.encapsulated && "decapsulating a plain packet");
+  Packet out = p;
+  out.encapsulated = false;
+  out.tunnel_src = IpAddress{};
+  out.tunnel_dst = IpAddress{};
+  return out;
+}
+
+Packet make_arp_request(MacAddress src, MacAddress wanted, TenantId tenant,
+                        SimTime now) {
+  Packet p;
+  p.kind = PacketKind::kArpRequest;
+  p.src_mac = src;
+  p.dst_mac = wanted;  // the address being resolved (broadcast on the wire)
+  p.tenant = tenant;
+  p.payload_bytes = 28;  // ARP payload size
+  p.created_at = now;
+  return p;
+}
+
+Packet make_arp_reply(MacAddress owner, MacAddress requester, TenantId tenant,
+                      SimTime now) {
+  Packet p;
+  p.kind = PacketKind::kArpReply;
+  p.src_mac = owner;
+  p.dst_mac = requester;
+  p.tenant = tenant;
+  p.payload_bytes = 28;
+  p.created_at = now;
+  return p;
+}
+
+}  // namespace lazyctrl::net

@@ -1,0 +1,70 @@
+#include "openflow/flow_table.h"
+
+#include <algorithm>
+
+namespace lazyctrl::openflow {
+
+namespace {
+bool same_match(const Match& a, const Match& b) noexcept {
+  return a.tenant == b.tenant && a.src_mac == b.src_mac &&
+         a.dst_mac == b.dst_mac;
+}
+}  // namespace
+
+bool FlowTable::install(FlowRule rule) {
+  // Replace an existing rule with the identical match and priority.
+  for (FlowRule& r : rules_) {
+    if (r.priority == rule.priority && same_match(r.match, rule.match)) {
+      r = rule;
+      return false;
+    }
+  }
+  if (capacity_ > 0 && rules_.size() >= capacity_) {
+    // Evict the oldest-installed rule.
+    auto oldest = std::min_element(rules_.begin(), rules_.end(),
+                                   [](const FlowRule& a, const FlowRule& b) {
+                                     return a.installed_at < b.installed_at;
+                                   });
+    rules_.erase(oldest);
+    ++evictions_;
+  }
+  // Insert keeping descending priority order (stable within a priority).
+  auto pos = std::upper_bound(rules_.begin(), rules_.end(), rule.priority,
+                              [](int prio, const FlowRule& r) {
+                                return prio > r.priority;
+                              });
+  rules_.insert(pos, std::move(rule));
+  return true;
+}
+
+const FlowRule* FlowTable::lookup(const net::Packet& p, SimTime now) {
+  evict_expired(now);
+  for (FlowRule& r : rules_) {
+    if (r.match.matches(p)) {
+      ++r.match_count;
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t FlowTable::total_matches() const noexcept {
+  std::uint64_t total = 0;
+  for (const FlowRule& r : rules_) total += r.match_count;
+  return total;
+}
+
+std::size_t FlowTable::remove_rules_for_destination(MacAddress dst) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [dst](const FlowRule& r) {
+    return r.match.dst_mac && *r.match.dst_mac == dst;
+  });
+  return before - rules_.size();
+}
+
+void FlowTable::evict_expired(SimTime now) {
+  std::erase_if(rules_,
+                [now](const FlowRule& r) { return r.expires_at <= now; });
+}
+
+}  // namespace lazyctrl::openflow

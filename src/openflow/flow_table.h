@@ -1,0 +1,100 @@
+// OpenFlow-style flow table: priority-ordered wildcard rules.
+//
+// Models the subset of OpenFlow v1.0 the paper's prototype uses, extended
+// with the GRE-like Encap action (§IV-B): match on (tenant VLAN, src MAC,
+// dst MAC) with any field wildcardable; actions forward to a local port,
+// encapsulate toward a remote edge switch, punt to the controller, or drop.
+// Rules may carry an expiry (idle-timeout simplification) and the table has
+// an optional capacity with LRU-ish eviction of the oldest rule.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mac.h"
+#include "common/time.h"
+#include "net/packet.h"
+
+namespace lazyctrl::openflow {
+
+struct Match {
+  std::optional<TenantId> tenant;
+  std::optional<MacAddress> src_mac;
+  std::optional<MacAddress> dst_mac;
+
+  [[nodiscard]] bool matches(const net::Packet& p) const noexcept {
+    if (tenant && *tenant != p.tenant) return false;
+    if (src_mac && *src_mac != p.src_mac) return false;
+    if (dst_mac && *dst_mac != p.dst_mac) return false;
+    return true;
+  }
+};
+
+enum class ActionType : std::uint8_t {
+  kForwardLocal,   ///< Deliver to the locally attached destination host.
+  kEncapTo,        ///< Encapsulate and send to a remote edge switch.
+  kToController,   ///< Punt to the controller (PacketIn).
+  kDrop,
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  /// Valid for kEncapTo: the remote edge switch (and its underlay IP).
+  SwitchId remote_switch;
+  IpAddress tunnel_dst;
+};
+
+constexpr SimTime kNoExpiry = std::numeric_limits<SimTime>::max();
+
+struct FlowRule {
+  int priority = 0;
+  Match match;
+  Action action;
+  SimTime installed_at = 0;
+  SimTime expires_at = kNoExpiry;
+  /// Packets matched so far (OpenFlow per-rule counter; lookup increments).
+  std::uint64_t match_count = 0;
+};
+
+class FlowTable {
+ public:
+  /// `capacity` caps the rule count (0 = unlimited); when full, installing
+  /// evicts the oldest-installed rule, mimicking constrained TCAM space.
+  explicit FlowTable(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Installs a rule. Returns false if an identical-match, same-priority
+  /// rule was replaced rather than added.
+  bool install(FlowRule rule);
+
+  /// Highest-priority live rule matching `p`, or nullptr. Expired rules are
+  /// lazily removed.
+  [[nodiscard]] const FlowRule* lookup(const net::Packet& p, SimTime now);
+
+  /// Removes all rules whose match exactly targets `dst` as destination.
+  std::size_t remove_rules_for_destination(MacAddress dst);
+
+  void clear() noexcept { rules_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t eviction_count() const noexcept {
+    return evictions_;
+  }
+  /// Snapshot of all live rules (descending priority), for stats requests.
+  [[nodiscard]] const std::vector<FlowRule>& rules() const noexcept {
+    return rules_;
+  }
+  /// Sum of match counters across live rules.
+  [[nodiscard]] std::uint64_t total_matches() const noexcept;
+
+ private:
+  void evict_expired(SimTime now);
+
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::vector<FlowRule> rules_;  // kept sorted by descending priority
+};
+
+}  // namespace lazyctrl::openflow

@@ -1,0 +1,3 @@
+#include "openflow/messages.h"
+
+// Message structs are plain data; this TU anchors the library archive.

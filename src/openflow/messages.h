@@ -1,0 +1,62 @@
+// Control-channel messages exchanged between edge switches and the
+// controller, modelled after the OpenFlow v1.0 message types the paper's
+// prototype extends (§IV): PacketIn (table miss punted to the controller),
+// FlowMod (rule installation), PacketOut (controller-directed forwarding),
+// plus the LazyCtrl extensions for grouping and state reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mac.h"
+#include "net/packet.h"
+#include "openflow/flow_table.h"
+
+namespace lazyctrl::openflow {
+
+struct PacketIn {
+  SwitchId from;
+  net::Packet packet;
+};
+
+struct FlowMod {
+  SwitchId target;
+  FlowRule rule;
+};
+
+struct PacketOut {
+  SwitchId target;
+  net::Packet packet;
+};
+
+/// LazyCtrl extension: one L-FIB entry (host MAC -> owning switch) as
+/// carried by state advertisements and C-LIB synchronisation.
+struct LocationEntry {
+  MacAddress mac;
+  TenantId tenant;
+  SwitchId attached_switch;
+};
+
+/// LazyCtrl extension: group membership pushed by the controller at
+/// (re)grouping time (§III-D1 "ordering and informing edge switches").
+struct GroupConfig {
+  GroupId group;
+  SwitchId designated;
+  std::vector<SwitchId> backups;
+  std::vector<SwitchId> members;       ///< ordered by management MAC
+  SwitchId ring_predecessor;           ///< upstream neighbour on the wheel
+  SwitchId ring_successor;             ///< downstream neighbour on the wheel
+};
+
+/// Simple counters a switch reports upstream; the designated switch
+/// aggregates these and the controller derives traffic-change signals.
+struct TrafficReport {
+  SwitchId from;
+  std::uint64_t intra_group_flows = 0;
+  std::uint64_t inter_group_flows = 0;
+  /// Per-peer new-flow counts since the previous report, keyed by switch.
+  std::vector<std::pair<SwitchId, std::uint64_t>> per_peer_flows;
+};
+
+}  // namespace lazyctrl::openflow

@@ -1,0 +1,15 @@
+#include "sim/channel.h"
+
+namespace lazyctrl::sim {
+
+bool Channel::deliver(std::function<void()> on_delivery) {
+  if (!up_) {
+    ++dropped_;
+    return false;
+  }
+  ++delivered_;
+  simulator_->schedule_after(latency_, std::move(on_delivery));
+  return true;
+}
+
+}  // namespace lazyctrl::sim

@@ -1,0 +1,44 @@
+// Latency channel: the logical links of the LazyCtrl control plane
+// (control link, state link, peer link — paper §III-B3) and the one-hop
+// overlay paths of the data plane are all modelled as point-to-point
+// channels with a fixed one-way latency and an up/down state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace lazyctrl::sim {
+
+class Channel {
+ public:
+  Channel(Simulator& simulator, SimDuration latency)
+      : simulator_(&simulator), latency_(latency) {}
+
+  /// Delivers `on_delivery` after the channel latency. Returns false (and
+  /// drops the message, counting it) when the channel is down.
+  bool deliver(std::function<void()> on_delivery);
+
+  void set_up(bool up) noexcept { up_ = up; }
+  [[nodiscard]] bool is_up() const noexcept { return up_; }
+  [[nodiscard]] SimDuration latency() const noexcept { return latency_; }
+  void set_latency(SimDuration latency) noexcept { latency_ = latency; }
+
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  Simulator* simulator_;
+  SimDuration latency_;
+  bool up_ = true;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lazyctrl::sim

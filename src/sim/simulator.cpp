@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace lazyctrl::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  assert(cb);
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(cb));
+  queue_.push(Event{t, next_seq_++, id});
+  return id;
+}
+
+EventId Simulator::schedule_periodic(SimDuration period, Callback cb) {
+  assert(period > 0 && cb);
+  const EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(cb)});
+  queue_.push(Event{now_ + period, next_seq_++, id});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0 || periodics_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+void Simulator::dispatch(const Event& e) {
+  now_ = e.time;
+  if (cancelled_.erase(e.id) > 0) return;
+
+  if (auto it = callbacks_.find(e.id); it != callbacks_.end()) {
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    cb();
+    return;
+  }
+  if (auto it = periodics_.find(e.id); it != periodics_.end()) {
+    ++processed_;
+    // Re-arm before invoking so the callback may cancel its own series.
+    queue_.push(Event{e.time + it->second.period, next_seq_++, e.id});
+    it->second.callback();
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const Event e = queue_.top();
+  queue_.pop();
+  dispatch(e);
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    const Event e = queue_.top();
+    queue_.pop();
+    dispatch(e);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace lazyctrl::sim

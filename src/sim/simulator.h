@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate replacing the paper's physical testbed: switches,
+// controllers and links are plain objects exchanging timestamped callbacks.
+// Events at equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace lazyctrl::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now). Returns an id
+  /// that can be passed to `cancel`.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventId schedule_after(SimDuration delay, Callback cb) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Schedules `cb` every `period`, first firing at now + period.
+  /// The returned id cancels the whole series.
+  EventId schedule_periodic(SimDuration period, Callback cb);
+
+  /// Cancels a pending (or periodic) event. Cancelling an already-fired
+  /// one-shot event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs all events with timestamp <= `deadline`; the clock ends at
+  /// `deadline` even if the queue empties earlier.
+  void run_until(SimTime deadline);
+
+  /// Executes at most one pending event. Returns false if queue is empty.
+  bool step();
+
+  [[nodiscard]] std::uint64_t processed_events() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered min-first by (time, seq).
+    friend bool operator>(const Event& a, const Event& b) noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  struct Periodic {
+    SimDuration period;
+    Callback callback;
+  };
+
+  void dispatch(const Event& e);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Periodic> periodics_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace lazyctrl::sim

@@ -1,0 +1,42 @@
+#include "topo/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace lazyctrl::topo {
+
+Topology build_multi_tenant(const MultiTenantOptions& options, Rng& rng) {
+  assert(options.switch_count > 0 && options.tenant_count > 0);
+  assert(options.min_vms_per_tenant <= options.max_vms_per_tenant);
+  assert(options.vms_per_switch > 0);
+
+  Topology topo;
+  for (std::size_t i = 0; i < options.switch_count; ++i) {
+    topo.add_switch();
+  }
+
+  std::vector<std::uint32_t> switch_order(options.switch_count);
+  std::iota(switch_order.begin(), switch_order.end(), 0);
+
+  for (std::size_t t = 0; t < options.tenant_count; ++t) {
+    const TenantId tenant{static_cast<std::uint32_t>(t)};
+    const auto vms = static_cast<std::size_t>(rng.next_between(
+        static_cast<std::int64_t>(options.min_vms_per_tenant),
+        static_cast<std::int64_t>(options.max_vms_per_tenant)));
+    const std::size_t span = std::min(
+        options.switch_count,
+        (vms + options.vms_per_switch - 1) / options.vms_per_switch);
+
+    // Random distinct switch set for this tenant.
+    rng.shuffle(switch_order);
+    for (std::size_t v = 0; v < vms; ++v) {
+      const SwitchId sw{switch_order[v % span]};
+      topo.add_host(tenant, sw);
+    }
+  }
+  return topo;
+}
+
+}  // namespace lazyctrl::topo

@@ -1,0 +1,31 @@
+// Multi-tenant topology builder.
+//
+// Generates placements matching the paper's workload model (§II-B): many
+// tenants, each owning a modest number of VMs (20-100 for EC2-like clouds),
+// with each tenant's VMs concentrated on a handful of edge switches. This
+// concentration is what produces the traffic locality LazyCtrl exploits.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace lazyctrl::topo {
+
+struct MultiTenantOptions {
+  std::size_t switch_count = 272;
+  std::size_t tenant_count = 120;
+  /// Uniform VM count per tenant in [min, max] (paper: 20-100).
+  std::size_t min_vms_per_tenant = 20;
+  std::size_t max_vms_per_tenant = 100;
+  /// Average VMs co-located per switch for one tenant; controls how many
+  /// switches a tenant spans (span = ceil(vms / this)).
+  std::size_t vms_per_switch = 24;
+};
+
+/// Builds a topology where each tenant's VMs land on a small random set of
+/// switches. Deterministic for a given rng state.
+Topology build_multi_tenant(const MultiTenantOptions& options, Rng& rng);
+
+}  // namespace lazyctrl::topo

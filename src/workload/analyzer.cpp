@@ -1,0 +1,86 @@
+#include "workload/analyzer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lazyctrl::workload {
+
+TraceProfile analyze(const Trace& trace, const topo::Topology& topology,
+                     const AnalyzerOptions& options) {
+  TraceProfile profile;
+
+  // Hourly arrival profile.
+  const std::size_t hours = static_cast<std::size_t>(
+      std::max<SimDuration>(trace.horizon, kHour) / kHour);
+  profile.flows_per_hour.assign(hours, 0);
+
+  // Tenant matrix sizing.
+  std::uint32_t max_tenant = 0;
+  for (const topo::HostInfo& h : topology.hosts()) {
+    max_tenant = std::max(max_tenant, h.tenant.value());
+  }
+  profile.tenant_count = topology.host_count() ? max_tenant + 1 : 0;
+  profile.tenant_matrix.assign(profile.tenant_count * profile.tenant_count,
+                               0);
+
+  std::vector<std::unordered_set<std::uint32_t>> peers(
+      topology.host_count());
+  std::uint64_t intra_tenant = 0, same_switch = 0;
+
+  for (const Flow& f : trace.flows) {
+    const auto hour = static_cast<std::size_t>(
+        std::clamp<SimTime>(f.start / kHour, 0,
+                            static_cast<SimTime>(hours - 1)));
+    ++profile.flows_per_hour[hour];
+
+    peers[f.src.value()].insert(f.dst.value());
+    peers[f.dst.value()].insert(f.src.value());
+
+    const topo::HostInfo& src = topology.host_info(f.src);
+    const topo::HostInfo& dst = topology.host_info(f.dst);
+    if (src.tenant == dst.tenant) ++intra_tenant;
+    if (src.attached_switch == dst.attached_switch) ++same_switch;
+    const auto lo = std::min(src.tenant.value(), dst.tenant.value());
+    const auto hi = std::max(src.tenant.value(), dst.tenant.value());
+    ++profile.tenant_matrix[lo * profile.tenant_count + hi];
+  }
+
+  if (!trace.flows.empty()) {
+    profile.intra_tenant_flow_share =
+        static_cast<double>(intra_tenant) /
+        static_cast<double>(trace.flow_count());
+    profile.same_switch_flow_share =
+        static_cast<double>(same_switch) /
+        static_cast<double>(trace.flow_count());
+    const auto [lo_it, hi_it] = std::minmax_element(
+        profile.flows_per_hour.begin(), profile.flows_per_hour.end());
+    profile.peak_to_trough = *lo_it == 0
+                                 ? static_cast<double>(*hi_it)
+                                 : static_cast<double>(*hi_it) /
+                                       static_cast<double>(*lo_it);
+    if (profile.peak_to_trough < 1.0) profile.peak_to_trough = 1.0;
+  }
+
+  // Degree distribution and hub detection.
+  profile.host_degrees.reserve(topology.host_count());
+  for (const auto& set : peers) {
+    profile.host_degrees.push_back(static_cast<std::uint32_t>(set.size()));
+  }
+  std::vector<std::uint32_t> sorted = profile.host_degrees;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::uint32_t median =
+      sorted.empty() ? 0 : sorted[sorted.size() / 2];
+  const double threshold =
+      std::max(1.0, options.hub_degree_multiple *
+                        static_cast<double>(std::max<std::uint32_t>(median,
+                                                                    1)));
+  for (std::uint32_t h = 0; h < profile.host_degrees.size(); ++h) {
+    if (profile.host_degrees[h] >= threshold) {
+      profile.hubs.push_back(HostId{h});
+    }
+  }
+  profile.host_degrees = std::move(sorted);
+  return profile;
+}
+
+}  // namespace lazyctrl::workload

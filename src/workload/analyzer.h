@@ -1,0 +1,54 @@
+// Deeper trace analytics beyond the Table II statistics of stats.h:
+// per-hour arrival profile, pair-degree distribution, hub detection, and
+// the tenant-to-tenant traffic matrix — the quantities one inspects when
+// deciding whether a workload suits hybrid control at all (§II).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::workload {
+
+struct TraceProfile {
+  /// Flows starting in each hour of the trace horizon.
+  std::vector<std::uint64_t> flows_per_hour;
+  /// Peak-hour flow count divided by the minimum-hour count (>= 1).
+  double peak_to_trough = 1.0;
+
+  /// Communication degree (distinct peers) per host, sorted descending.
+  std::vector<std::uint32_t> host_degrees;
+  /// Hosts whose degree exceeds `hub_degree_threshold` (see analyze()).
+  std::vector<HostId> hubs;
+
+  /// Share of flows whose endpoints belong to the same tenant.
+  double intra_tenant_flow_share = 0.0;
+  /// Share of flows whose endpoints attach to the same edge switch.
+  double same_switch_flow_share = 0.0;
+
+  /// tenant_matrix[a * tenant_count + b] = flows from tenant a to b
+  /// (unordered pairs accumulate on (min,max)).
+  std::vector<std::uint64_t> tenant_matrix;
+  std::size_t tenant_count = 0;
+
+  [[nodiscard]] std::uint64_t tenant_flows(std::uint32_t a,
+                                           std::uint32_t b) const {
+    const auto lo = std::min(a, b), hi = std::max(a, b);
+    return tenant_matrix[lo * tenant_count + hi];
+  }
+};
+
+struct AnalyzerOptions {
+  /// A host is a hub when its distinct-peer count is at least this multiple
+  /// of the median host degree.
+  double hub_degree_multiple = 8.0;
+};
+
+/// Scans the trace once and derives the profile.
+TraceProfile analyze(const Trace& trace, const topo::Topology& topology,
+                     const AnalyzerOptions& options = {});
+
+}  // namespace lazyctrl::workload

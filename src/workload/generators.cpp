@@ -1,0 +1,305 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace lazyctrl::workload {
+
+namespace {
+
+using topo::Topology;
+
+/// Canonical 64-bit key for an unordered host pair.
+std::uint64_t pair_key(HostId a, HostId b) {
+  std::uint32_t lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+struct HostPair {
+  HostId a;
+  HostId b;
+};
+
+/// Samples a flow start time from the diurnal profile.
+SimTime sample_start(const std::array<double, 24>& cdf, SimDuration horizon,
+                     Rng& rng) {
+  const double u = rng.next_double();
+  std::size_t hour = 0;
+  while (hour < 23 && cdf[hour] < u) ++hour;
+  const SimDuration hour_len = horizon / 24;
+  return static_cast<SimTime>(hour) * hour_len +
+         static_cast<SimTime>(rng.next_below(
+             static_cast<std::uint64_t>(std::max<SimDuration>(hour_len, 1))));
+}
+
+/// Samples packet count and size for one flow.
+void sample_shape(const FlowShape& shape, Rng& rng, Flow& flow) {
+  const double raw = rng.next_exponential(std::max(shape.mean_packets, 1.0));
+  flow.packets =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(raw)));
+  flow.avg_packet_bytes = static_cast<std::uint32_t>(rng.next_between(
+      shape.min_packet_bytes, shape.max_packet_bytes));
+}
+
+/// Groups host ids by tenant.
+std::vector<std::vector<HostId>> hosts_by_tenant(const Topology& topology) {
+  std::vector<std::vector<HostId>> groups;
+  for (const topo::HostInfo& h : topology.hosts()) {
+    const std::size_t t = h.tenant.value();
+    if (groups.size() <= t) groups.resize(t + 1);
+    groups[t].push_back(h.id);
+  }
+  return groups;
+}
+
+/// All intra-tenant unordered pairs (the candidate universe for hot sets).
+std::vector<HostPair> intra_tenant_pairs(const Topology& topology) {
+  std::vector<HostPair> pairs;
+  for (const auto& members : hosts_by_tenant(topology)) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        pairs.push_back({members[i], members[j]});
+      }
+    }
+  }
+  return pairs;
+}
+
+/// A uniformly random pair of distinct hosts (any tenants).
+HostPair random_pair(const Topology& topology, Rng& rng) {
+  const std::size_t n = topology.host_count();
+  assert(n >= 2);
+  const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+  auto b = static_cast<std::uint32_t>(rng.next_below(n - 1));
+  if (b >= a) ++b;
+  return {HostId{a}, HostId{b}};
+}
+
+/// A random pair of hosts from two different tenants.
+HostPair random_cross_tenant_pair(const Topology& topology, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    HostPair p = random_pair(topology, rng);
+    if (topology.host_info(p.a).tenant != topology.host_info(p.b).tenant) {
+      return p;
+    }
+  }
+  return random_pair(topology, rng);  // single-tenant topology fallback
+}
+
+}  // namespace
+
+Trace generate_real_like(const Topology& topology,
+                         const RealLikeOptions& options, Rng& rng) {
+  assert(topology.host_count() >= 2);
+  Trace trace;
+  trace.horizon = options.horizon;
+
+  // --- Build the communicating-pair set. ---
+  // Intra-tenant: each host talks to a few random peers inside its tenant.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<HostPair> pairs;
+  for (const auto& members : hosts_by_tenant(topology)) {
+    if (members.size() < 2) continue;
+    for (HostId h : members) {
+      for (std::size_t k = 0; k < options.partners_per_host; ++k) {
+        const HostId peer =
+            members[rng.next_below(members.size())];
+        if (peer == h) continue;
+        if (seen.insert(pair_key(h, peer)).second) {
+          pairs.push_back({h, peer});
+        }
+      }
+    }
+  }
+  // Cross-tenant: a small fraction of extra pairs spanning tenants.
+  const auto cross_target = static_cast<std::size_t>(
+      options.cross_tenant_pair_fraction * static_cast<double>(pairs.size()));
+  for (std::size_t added = 0; added < cross_target;) {
+    HostPair p = random_cross_tenant_pair(topology, rng);
+    if (seen.insert(pair_key(p.a, p.b)).second) {
+      pairs.push_back(p);
+      ++added;
+    }
+  }
+
+  // Shared-service hubs: a few hosts talked to by hosts across tenants.
+  // Hub pairs carry a dedicated flow share (below) — big concentrated
+  // stars no host partition can absorb.
+  std::vector<HostPair> hub_pairs;
+  const auto hub_count = static_cast<std::size_t>(
+      options.hub_host_fraction * static_cast<double>(topology.host_count()));
+  const auto hub_pair_target = static_cast<std::size_t>(
+      options.hub_pair_fraction * static_cast<double>(pairs.size()));
+  if (hub_count > 0 && hub_pair_target > 0) {
+    std::vector<HostId> hubs;
+    for (std::size_t i = 0; i < hub_count; ++i) {
+      hubs.push_back(HostId{static_cast<std::uint32_t>(
+          rng.next_below(topology.host_count()))});
+    }
+    for (std::size_t added = 0, attempts = 0;
+         added < hub_pair_target && attempts < hub_pair_target * 20;
+         ++attempts) {
+      const HostId hub = hubs[rng.next_below(hubs.size())];
+      const HostId client{static_cast<std::uint32_t>(
+          rng.next_below(topology.host_count()))};
+      if (client == hub) continue;
+      if (seen.insert(pair_key(hub, client)).second) {
+        hub_pairs.push_back({hub, client});
+        ++added;
+      }
+    }
+  }
+  if (pairs.empty()) return trace;
+
+  // --- Split pairs into heavy and light classes (paper: ~10% of pairs
+  // carry ~90% of flows). ---
+  rng.shuffle(pairs);
+  const std::size_t heavy_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.heavy_pair_fraction *
+                                  static_cast<double>(pairs.size())));
+
+  const auto cdf = options.profile.cumulative();
+  const double hub_share = hub_pairs.empty() ? 0.0 : options.hub_flow_share;
+  trace.flows.reserve(options.total_flows);
+  for (std::size_t i = 0; i < options.total_flows; ++i) {
+    const HostPair* chosen;
+    if (rng.next_bool(hub_share)) {
+      chosen = &hub_pairs[rng.next_below(hub_pairs.size())];
+    } else if (rng.next_bool(options.heavy_flow_share)) {
+      chosen = &pairs[rng.next_below(heavy_count)];
+    } else {
+      chosen = &pairs[heavy_count == pairs.size()
+                          ? rng.next_below(pairs.size())
+                          : heavy_count + rng.next_below(pairs.size() -
+                                                         heavy_count)];
+    }
+    const HostPair& p = *chosen;
+    Flow f;
+    // Direction alternates randomly.
+    if (rng.next_bool(0.5)) {
+      f.src = p.a;
+      f.dst = p.b;
+    } else {
+      f.src = p.b;
+      f.dst = p.a;
+    }
+    f.start = sample_start(cdf, options.horizon, rng);
+    sample_shape(options.shape, rng, f);
+    trace.flows.push_back(f);
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
+Trace generate_synthetic(const Topology& topology,
+                         const SyntheticOptions& options, Rng& rng) {
+  assert(topology.host_count() >= 2);
+  Trace trace;
+  trace.horizon = options.horizon;
+
+  // Candidate universe: intra-tenant pairs (the locality-bearing set).
+  std::vector<HostPair> universe = intra_tenant_pairs(topology);
+  if (universe.empty()) return trace;
+  rng.shuffle(universe);
+
+  // Hot set: q% of the universe. Larger q also lets proportionally more
+  // cross-tenant pairs into the hot set (hot_cross_factor x q), which is
+  // what dilutes centrality from Syn-A to Syn-C in Table II.
+  const double q_frac = std::clamp(options.q / 100.0, 0.0, 1.0);
+  std::size_t hot_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(q_frac *
+                                  static_cast<double>(universe.size())));
+  hot_size = std::min(hot_size, universe.size());
+  std::vector<HostPair> hot(universe.begin(),
+                            universe.begin() +
+                                static_cast<std::ptrdiff_t>(hot_size));
+  const auto cross_in_hot = static_cast<std::size_t>(std::clamp(
+      options.hot_cross_factor * q_frac, 0.0, 1.0) *
+      static_cast<double>(hot_size));
+  for (std::size_t i = 0; i < cross_in_hot; ++i) {
+    hot[rng.next_below(hot.size())] = random_cross_tenant_pair(topology, rng);
+  }
+
+  const double p_frac = std::clamp(options.p / 100.0, 0.0, 1.0);
+  const auto cdf = options.profile.cumulative();
+  trace.flows.reserve(options.total_flows);
+  for (std::size_t i = 0; i < options.total_flows; ++i) {
+    HostPair pair;
+    if (rng.next_bool(p_frac)) {
+      pair = hot[rng.next_below(hot.size())];
+    } else if (rng.next_bool(options.rest_uniform_fraction)) {
+      pair = random_pair(topology, rng);
+    } else {
+      pair = universe[rng.next_below(universe.size())];
+    }
+    Flow f;
+    if (rng.next_bool(0.5)) std::swap(pair.a, pair.b);
+    f.src = pair.a;
+    f.dst = pair.b;
+    f.start = sample_start(cdf, options.horizon, rng);
+    sample_shape(options.shape, rng, f);
+    trace.flows.push_back(f);
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
+Trace expand_trace(const Trace& base, const Topology& topology,
+                   double extra_fraction, SimTime from, SimTime to, Rng& rng,
+                   double flows_per_new_pair) {
+  assert(to > from);
+  Trace out = base;
+
+  std::unordered_set<std::uint64_t> communicated;
+  communicated.reserve(base.flows.size());
+  for (const Flow& f : base.flows) {
+    communicated.insert(pair_key(f.src, f.dst));
+  }
+
+  const auto extra = static_cast<std::size_t>(
+      extra_fraction * static_cast<double>(base.flows.size()));
+  if (extra == 0) {
+    finalize_trace(out);
+    return out;
+  }
+
+  // Fix the set of new pairs first; the extra flows recur among them so the
+  // expansion adds persistent structure, not one-shot noise.
+  const std::size_t pair_target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(extra) /
+                                  std::max(flows_per_new_pair, 1.0)));
+  std::vector<HostPair> new_pairs;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = pair_target * 100 + 1000;
+  while (new_pairs.size() < pair_target && attempts++ < max_attempts) {
+    HostPair p = random_pair(topology, rng);
+    if (!communicated.insert(pair_key(p.a, p.b)).second) continue;
+    new_pairs.push_back(p);
+  }
+  if (new_pairs.empty()) {
+    finalize_trace(out);
+    return out;
+  }
+
+  FlowShape shape;  // default shape for the injected background flows
+  for (std::size_t added = 0; added < extra; ++added) {
+    HostPair p = new_pairs[rng.next_below(new_pairs.size())];
+    Flow f;
+    if (rng.next_bool(0.5)) std::swap(p.a, p.b);
+    f.src = p.a;
+    f.dst = p.b;
+    f.start = from + static_cast<SimTime>(
+                         rng.next_below(static_cast<std::uint64_t>(to - from)));
+    sample_shape(shape, rng, f);
+    out.flows.push_back(f);
+  }
+  finalize_trace(out);
+  return out;
+}
+
+}  // namespace lazyctrl::workload

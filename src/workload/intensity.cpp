@@ -1,0 +1,43 @@
+#include "workload/intensity.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace lazyctrl::workload {
+
+graph::WeightedGraph build_intensity_graph(const Trace& trace,
+                                           const topo::Topology& topology,
+                                           SimTime from, SimTime to) {
+  assert(to > from);
+  const std::size_t n = topology.switch_count();
+  graph::WeightedGraph g(n);
+  const double window_sec = to_seconds(to - from);
+
+  std::unordered_map<std::uint64_t, double> switch_pair_flows;
+  for (const Flow& f : trace.flows) {
+    if (f.start < from || f.start >= to) continue;
+    const std::uint32_t a =
+        topology.host_info(f.src).attached_switch.value();
+    const std::uint32_t b =
+        topology.host_info(f.dst).attached_switch.value();
+    if (a == b) continue;  // same-switch traffic never leaves the edge
+    const std::uint64_t key =
+        a < b ? (static_cast<std::uint64_t>(b) << 32) | a
+              : (static_cast<std::uint64_t>(a) << 32) | b;
+    switch_pair_flows[key] += 1.0;
+  }
+  for (const auto& [key, flows] : switch_pair_flows) {
+    const auto hi = static_cast<graph::VertexId>(key >> 32);
+    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
+    g.add_edge(lo, hi, flows / window_sec);
+  }
+  return g;
+}
+
+graph::WeightedGraph build_intensity_graph(const Trace& trace,
+                                           const topo::Topology& topology) {
+  return build_intensity_graph(trace, topology, 0,
+                               std::max<SimTime>(trace.horizon, 1));
+}
+
+}  // namespace lazyctrl::workload

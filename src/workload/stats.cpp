@@ -1,0 +1,107 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/multilevel_partitioner.h"
+
+namespace lazyctrl::workload {
+
+namespace {
+
+std::uint64_t pair_key(HostId a, HostId b) {
+  std::uint32_t lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+TraceStats compute_stats(const Trace& trace, const topo::Topology& topology,
+                         std::size_t centrality_groups, std::uint64_t seed) {
+  TraceStats stats;
+  stats.flow_count = trace.flow_count();
+  if (trace.flows.empty() || topology.host_count() == 0) return stats;
+
+  // Flow counts per unordered pair.
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_flows;
+  pair_flows.reserve(trace.flows.size());
+  for (const Flow& f : trace.flows) {
+    ++pair_flows[pair_key(f.src, f.dst)];
+  }
+  stats.distinct_pairs = pair_flows.size();
+
+  // Top-10% pair share.
+  {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(pair_flows.size());
+    for (const auto& [key, c] : pair_flows) counts.push_back(c);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    const std::size_t top = std::max<std::size_t>(1, counts.size() / 10);
+    std::uint64_t top_sum = 0, total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (i < top) top_sum += counts[i];
+    }
+    stats.top10_pair_flow_share =
+        total ? static_cast<double>(top_sum) / static_cast<double>(total) : 0;
+  }
+
+  // Balanced k-way partition of the host communication graph.
+  const std::size_t n = topology.host_count();
+  centrality_groups = std::clamp<std::size_t>(centrality_groups, 1, n);
+  graph::WeightedGraph host_graph(n);
+  for (const auto& [key, c] : pair_flows) {
+    const auto hi = static_cast<graph::VertexId>(key >> 32);
+    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
+    host_graph.add_edge(lo, hi, static_cast<double>(c));
+  }
+  Rng rng(seed);
+  graph::MultilevelPartitioner partitioner;
+  graph::PartitionConstraints constraints{
+      host_graph.total_vertex_weight() /
+          static_cast<double>(centrality_groups) * 1.10 +
+      1.0};
+  graph::Partition part =
+      partitioner.partition(host_graph, centrality_groups, constraints, rng);
+
+  // Centrality per group: intra-group flows / flows touching the group.
+  std::vector<std::uint64_t> intra(part.part_count, 0);
+  std::vector<std::uint64_t> related(part.part_count, 0);
+  std::uint64_t total_flows = 0, intra_total = 0;
+  for (const auto& [key, c] : pair_flows) {
+    const auto hi = static_cast<graph::VertexId>(key >> 32);
+    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
+    const graph::PartId ga = part.assignment[lo];
+    const graph::PartId gb = part.assignment[hi];
+    total_flows += c;
+    if (ga == gb) {
+      intra[ga] += c;
+      related[ga] += c;
+      intra_total += c;
+    } else {
+      related[ga] += c;
+      related[gb] += c;
+    }
+  }
+  double centrality_sum = 0;
+  std::size_t non_empty = 0;
+  for (std::size_t g = 0; g < part.part_count; ++g) {
+    if (related[g] == 0) continue;
+    centrality_sum +=
+        static_cast<double>(intra[g]) / static_cast<double>(related[g]);
+    ++non_empty;
+  }
+  stats.avg_centrality = non_empty ? centrality_sum / static_cast<double>(
+                                                          non_empty)
+                                   : 0.0;
+  stats.intra_group_flow_fraction =
+      total_flows ? static_cast<double>(intra_total) /
+                        static_cast<double>(total_flows)
+                  : 0.0;
+  return stats;
+}
+
+}  // namespace lazyctrl::workload

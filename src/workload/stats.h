@@ -1,0 +1,33 @@
+// Trace statistics: the quantities the paper reports in §II-A and Table II.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topo/topology.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::workload {
+
+struct TraceStats {
+  std::size_t flow_count = 0;
+  /// Number of distinct (unordered) host pairs that exchanged traffic.
+  std::size_t distinct_pairs = 0;
+  /// Share of flows carried by the busiest 10% of communicating pairs
+  /// (paper §II-A: ~90%).
+  double top10_pair_flow_share = 0.0;
+  /// Average group centrality after partitioning hosts into
+  /// `centrality_groups` balanced groups (paper: 0.853 for 5 groups).
+  double avg_centrality = 0.0;
+  /// Fraction of flows that stay inside one of those groups
+  /// (paper: >90.2% intra for the real trace).
+  double intra_group_flow_fraction = 0.0;
+};
+
+/// Computes the statistics over a trace. `centrality_groups` mirrors the
+/// paper's 5-way host partition; `seed` drives the partitioner.
+TraceStats compute_stats(const Trace& trace, const topo::Topology& topology,
+                         std::size_t centrality_groups = 5,
+                         std::uint64_t seed = 42);
+
+}  // namespace lazyctrl::workload

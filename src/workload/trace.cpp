@@ -1,0 +1,71 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace lazyctrl::workload {
+
+DiurnalProfile DiurnalProfile::business_day() {
+  // Relative load per hour-of-day; values loosely follow the enterprise
+  // data-center diurnal pattern (low overnight, rise from 7am, afternoon
+  // peak, evening decay).
+  DiurnalProfile p;
+  p.hourly_weight = {0.35, 0.30, 0.28, 0.27, 0.28, 0.32, 0.45, 0.65,
+                     0.85, 1.00, 1.10, 1.15, 1.10, 1.15, 1.20, 1.15,
+                     1.05, 0.95, 0.85, 0.75, 0.65, 0.55, 0.45, 0.40};
+  return p;
+}
+
+DiurnalProfile DiurnalProfile::flat() {
+  DiurnalProfile p;
+  p.hourly_weight.fill(1.0);
+  return p;
+}
+
+std::array<double, 24> DiurnalProfile::cumulative() const {
+  std::array<double, 24> cdf{};
+  double total = 0;
+  for (double w : hourly_weight) total += w;
+  double acc = 0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    acc += hourly_weight[h] / total;
+    cdf[h] = acc;
+  }
+  cdf[23] = 1.0;  // guard against rounding
+  return cdf;
+}
+
+void finalize_trace(Trace& trace) {
+  std::stable_sort(
+      trace.flows.begin(), trace.flows.end(),
+      [](const Flow& a, const Flow& b) { return a.start < b.start; });
+  std::uint64_t id = 0;
+  for (Flow& f : trace.flows) f.id = id++;
+}
+
+Trace slice_trace(const Trace& trace, SimTime from, SimTime to) {
+  Trace out;
+  out.horizon = std::max<SimDuration>(to - from, 1);
+  for (const Flow& f : trace.flows) {
+    if (f.start < from || f.start >= to) continue;
+    Flow copy = f;
+    copy.start -= from;
+    out.flows.push_back(copy);
+  }
+  finalize_trace(out);
+  return out;
+}
+
+Trace concat_traces(const Trace& a, const Trace& b) {
+  Trace out = a;
+  out.horizon = a.horizon + b.horizon;
+  out.flows.reserve(a.flows.size() + b.flows.size());
+  for (const Flow& f : b.flows) {
+    Flow copy = f;
+    copy.start += a.horizon;
+    out.flows.push_back(copy);
+  }
+  finalize_trace(out);
+  return out;
+}
+
+}  // namespace lazyctrl::workload

@@ -1,0 +1,99 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace lazyctrl::workload {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "src_host,dst_host,start_ns,packets,avg_packet_bytes";
+
+/// Parses one unsigned integer field up to the next comma (or end).
+template <typename T>
+bool parse_field(std::string_view& line, T& out) {
+  const std::size_t comma = line.find(',');
+  const std::string_view field =
+      comma == std::string_view::npos ? line : line.substr(0, comma);
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) return false;
+  line = comma == std::string_view::npos ? std::string_view{}
+                                         : line.substr(comma + 1);
+  return true;
+}
+
+}  // namespace
+
+bool save_trace_csv(const Trace& trace, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const Flow& f : trace.flows) {
+    out << f.src.value() << ',' << f.dst.value() << ',' << f.start << ','
+        << f.packets << ',' << f.avg_packet_bytes << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  return out && save_trace_csv(trace, out);
+}
+
+std::optional<Trace> load_trace_csv(std::istream& in,
+                                    SimDuration min_horizon,
+                                    std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& what) {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+
+  std::string line;
+  if (!std::getline(in, line)) return fail(0, "empty input");
+  if (line != kHeader) return fail(1, "unexpected header");
+
+  Trace trace;
+  SimTime max_start = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view rest{line};
+    Flow f;
+    std::uint32_t src = 0, dst = 0;
+    std::int64_t start = 0;
+    if (!parse_field(rest, src) || !parse_field(rest, dst) ||
+        !parse_field(rest, start) || !parse_field(rest, f.packets) ||
+        !parse_field(rest, f.avg_packet_bytes) || !rest.empty()) {
+      return fail(line_no, "malformed flow record");
+    }
+    if (src == dst) return fail(line_no, "flow with identical endpoints");
+    if (f.packets == 0) return fail(line_no, "flow with zero packets");
+    f.src = HostId{src};
+    f.dst = HostId{dst};
+    f.start = start;
+    max_start = std::max(max_start, f.start);
+    trace.flows.push_back(f);
+  }
+  trace.horizon = std::max<SimDuration>(min_horizon, max_start + kSecond);
+  finalize_trace(trace);
+  return trace;
+}
+
+std::optional<Trace> load_trace_csv(const std::string& path,
+                                    SimDuration min_horizon,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return load_trace_csv(in, min_horizon, error);
+}
+
+}  // namespace lazyctrl::workload

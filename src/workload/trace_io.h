@@ -1,0 +1,34 @@
+// Trace (de)serialization.
+//
+// Traces persist as a simple CSV so users can bring their own measurement
+// data (the role the proprietary enterprise trace plays in the paper) or
+// archive generated workloads for exactly-reproducible experiments.
+//
+// Format: one header line, then one line per flow:
+//   src_host,dst_host,start_ns,packets,avg_packet_bytes
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace lazyctrl::workload {
+
+/// Writes `trace` as CSV. Returns false on I/O failure.
+bool save_trace_csv(const Trace& trace, std::ostream& out);
+bool save_trace_csv(const Trace& trace, const std::string& path);
+
+/// Parses a CSV trace. Returns std::nullopt on malformed input (the error
+/// line is reported via the optional `error` out-param). Flows are
+/// re-finalized (sorted, dense ids); the horizon is max(start)+1s unless a
+/// larger `min_horizon` is given.
+std::optional<Trace> load_trace_csv(std::istream& in,
+                                    SimDuration min_horizon = 0,
+                                    std::string* error = nullptr);
+std::optional<Trace> load_trace_csv(const std::string& path,
+                                    SimDuration min_horizon = 0,
+                                    std::string* error = nullptr);
+
+}  // namespace lazyctrl::workload

@@ -1,0 +1,120 @@
+// Tests for the trace analyzer.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "topo/builder.h"
+#include "workload/analyzer.h"
+#include "workload/generators.h"
+
+namespace lazyctrl::workload {
+namespace {
+
+topo::Topology two_tenant_topology() {
+  topo::Topology t;
+  const SwitchId s0 = t.add_switch();
+  const SwitchId s1 = t.add_switch();
+  for (int i = 0; i < 3; ++i) t.add_host(TenantId{0}, s0);
+  for (int i = 0; i < 3; ++i) t.add_host(TenantId{1}, s1);
+  return t;
+}
+
+Flow flow(std::uint32_t src, std::uint32_t dst, SimTime start) {
+  Flow f;
+  f.src = HostId{src};
+  f.dst = HostId{dst};
+  f.start = start;
+  return f;
+}
+
+TEST(AnalyzerTest, EmptyTrace) {
+  const auto topo = two_tenant_topology();
+  const TraceProfile p = analyze(Trace{}, topo);
+  EXPECT_EQ(p.tenant_count, 2u);
+  EXPECT_TRUE(p.hubs.empty());
+  EXPECT_DOUBLE_EQ(p.intra_tenant_flow_share, 0.0);
+}
+
+TEST(AnalyzerTest, HourlyProfile) {
+  const auto topo = two_tenant_topology();
+  Trace t;
+  t.horizon = 3 * kHour;
+  t.flows.push_back(flow(0, 1, 10 * kMinute));
+  t.flows.push_back(flow(0, 1, 70 * kMinute));
+  t.flows.push_back(flow(0, 1, 80 * kMinute));
+  finalize_trace(t);
+  const TraceProfile p = analyze(t, topo);
+  ASSERT_EQ(p.flows_per_hour.size(), 3u);
+  EXPECT_EQ(p.flows_per_hour[0], 1u);
+  EXPECT_EQ(p.flows_per_hour[1], 2u);
+  EXPECT_EQ(p.flows_per_hour[2], 0u);
+}
+
+TEST(AnalyzerTest, TenantAndSwitchShares) {
+  const auto topo = two_tenant_topology();
+  Trace t;
+  t.horizon = kHour;
+  t.flows.push_back(flow(0, 1, 0));  // same tenant, same switch
+  t.flows.push_back(flow(0, 3, 0));  // cross tenant, cross switch
+  finalize_trace(t);
+  const TraceProfile p = analyze(t, topo);
+  EXPECT_DOUBLE_EQ(p.intra_tenant_flow_share, 0.5);
+  EXPECT_DOUBLE_EQ(p.same_switch_flow_share, 0.5);
+  EXPECT_EQ(p.tenant_flows(0, 0), 1u);
+  EXPECT_EQ(p.tenant_flows(0, 1), 1u);
+  EXPECT_EQ(p.tenant_flows(1, 0), 1u);  // symmetric accessor
+  EXPECT_EQ(p.tenant_flows(1, 1), 0u);
+}
+
+TEST(AnalyzerTest, DegreeDistributionSorted) {
+  const auto topo = two_tenant_topology();
+  Trace t;
+  t.horizon = kHour;
+  // Host 0 talks to 1, 2 and 3 (degree 3); others have degree 1.
+  t.flows.push_back(flow(0, 1, 0));
+  t.flows.push_back(flow(0, 2, 0));
+  t.flows.push_back(flow(0, 3, 0));
+  finalize_trace(t);
+  const TraceProfile p = analyze(t, topo);
+  ASSERT_EQ(p.host_degrees.size(), topo.host_count());
+  EXPECT_EQ(p.host_degrees.front(), 3u);
+  EXPECT_TRUE(std::is_sorted(p.host_degrees.rbegin(),
+                             p.host_degrees.rend()));
+}
+
+TEST(AnalyzerTest, DetectsGeneratedHubs) {
+  // The real-like generator plants shared-service hubs; the analyzer must
+  // find high-degree hosts.
+  Rng rng(4);
+  topo::MultiTenantOptions topt;
+  topt.switch_count = 40;
+  topt.tenant_count = 20;
+  const auto topo = topo::build_multi_tenant(topt, rng);
+  RealLikeOptions opt;
+  opt.total_flows = 40000;
+  const Trace trace = generate_real_like(topo, opt, rng);
+  const TraceProfile p = analyze(trace, topo);
+  EXPECT_FALSE(p.hubs.empty());
+  // Every reported hub must genuinely have a high peer count.
+  const std::uint32_t median = p.host_degrees[p.host_degrees.size() / 2];
+  EXPECT_GT(p.host_degrees.front(), 4 * std::max<std::uint32_t>(median, 1));
+}
+
+TEST(AnalyzerTest, PeakToTroughReflectsDiurnal) {
+  Rng rng(5);
+  topo::MultiTenantOptions topt;
+  topt.switch_count = 10;
+  topt.tenant_count = 5;
+  const auto topo = topo::build_multi_tenant(topt, rng);
+  RealLikeOptions diurnal;
+  diurnal.total_flows = 20000;
+  RealLikeOptions flat = diurnal;
+  flat.profile = DiurnalProfile::flat();
+  Rng r1(6), r2(6);
+  const auto pd = analyze(generate_real_like(topo, diurnal, r1), topo);
+  const auto pf = analyze(generate_real_like(topo, flat, r2), topo);
+  EXPECT_GT(pd.peak_to_trough, pf.peak_to_trough);
+  EXPECT_GT(pd.peak_to_trough, 2.0);
+}
+
+}  // namespace
+}  // namespace lazyctrl::workload

@@ -1,0 +1,82 @@
+// Tests for the explicit alternating-offers bargaining simulation
+// (appendix C) and its consistency with the Rubinstein closed form.
+#include <gtest/gtest.h>
+
+#include "core/negotiation.h"
+
+namespace lazyctrl::core {
+namespace {
+
+NegotiationParams default_params() {
+  NegotiationParams p;
+  p.controller_discount = 0.9;
+  p.switch_discount = 0.8;
+  p.switch_preferred_limit = 10;
+  p.controller_preferred_limit = 110;
+  return p;
+}
+
+TEST(BargainingTest, EquilibriumAgreesImmediately) {
+  const BargainingOutcome o = simulate_bargaining(default_params());
+  ASSERT_EQ(o.rounds.size(), 1u);
+  EXPECT_TRUE(o.rounds[0].accepted);
+  EXPECT_EQ(o.rounds[0].round, 0);
+}
+
+TEST(BargainingTest, MatchesClosedForm) {
+  const NegotiationParams p = default_params();
+  const BargainingOutcome o = simulate_bargaining(p);
+  // Closed form: x* = (1 - 0.8) / (1 - 0.72) = 0.714285...
+  EXPECT_NEAR(o.controller_share, (1.0 - 0.8) / (1.0 - 0.9 * 0.8), 1e-9);
+  EXPECT_EQ(o.group_size_limit, negotiate_group_size(p));
+}
+
+TEST(BargainingTest, ClosedFormMatchAcrossDiscountGrid) {
+  for (double dc : {0.3, 0.6, 0.9, 0.99}) {
+    for (double ds : {0.2, 0.5, 0.8, 0.95}) {
+      NegotiationParams p = default_params();
+      p.controller_discount = dc;
+      p.switch_discount = ds;
+      const BargainingOutcome o = simulate_bargaining(p);
+      EXPECT_EQ(o.group_size_limit, negotiate_group_size(p))
+          << "dc=" << dc << " ds=" << ds;
+    }
+  }
+}
+
+TEST(BargainingTest, StubbornnessDelaysAgreement) {
+  const BargainingOutcome fair = simulate_bargaining(default_params(), 0.0);
+  const BargainingOutcome greedy =
+      simulate_bargaining(default_params(), 0.5);
+  EXPECT_GT(greedy.rounds.size(), fair.rounds.size());
+}
+
+TEST(BargainingTest, StubbornnessBurnsSurplus) {
+  // A stubborn controller ends up with *less* because the surplus decays
+  // while offers get rejected — the classic bargaining inefficiency.
+  const BargainingOutcome fair = simulate_bargaining(default_params(), 0.0);
+  const BargainingOutcome greedy =
+      simulate_bargaining(default_params(), 0.9, 64);
+  EXPECT_LE(greedy.controller_share, fair.controller_share);
+}
+
+TEST(BargainingTest, BreakdownYieldsSwitchPreferredLimit) {
+  // Max stubbornness within bounds + tiny round budget: no agreement, the
+  // controller gets no share, the limit collapses to the switches' ask.
+  NegotiationParams p = default_params();
+  const BargainingOutcome o = simulate_bargaining(p, 0.99, 2);
+  EXPECT_DOUBLE_EQ(o.controller_share, 0.0);
+  EXPECT_EQ(o.group_size_limit, p.switch_preferred_limit);
+}
+
+TEST(BargainingTest, LimitStaysWithinPreferredRange) {
+  for (double stubborn : {0.0, 0.2, 0.5, 0.9}) {
+    const BargainingOutcome o =
+        simulate_bargaining(default_params(), stubborn);
+    EXPECT_GE(o.group_size_limit, 10u);
+    EXPECT_LE(o.group_size_limit, 110u);
+  }
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

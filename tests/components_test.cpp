@@ -1,0 +1,74 @@
+// Tests for connected components over weighted graphs.
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace lazyctrl::graph {
+namespace {
+
+TEST(ComponentsTest, EmptyGraph) {
+  WeightedGraph g(0);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.component_count, 0u);
+  EXPECT_EQ(info.largest, 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ComponentsTest, IsolatedVertices) {
+  WeightedGraph g(4);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.component_count, 4u);
+  EXPECT_EQ(info.largest, 1u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ComponentsTest, SingleChain) {
+  WeightedGraph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1, 1.0);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.component_count, 1u);
+  EXPECT_EQ(info.largest, 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ComponentsTest, TwoIslands) {
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.component_count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(info.largest, 3u);
+  EXPECT_EQ(info.component[0], info.component[2]);
+  EXPECT_NE(info.component[0], info.component[3]);
+  // Sizes indexed by component id must sum to n.
+  std::size_t total = 0;
+  for (std::size_t s : info.sizes) total += s;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(ComponentsTest, WeightThresholdSplitsGraph) {
+  // Heavy path 0-1-2, light bridge 2-3, heavy pair 3-4.
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(2, 3, 0.5);
+  g.add_edge(3, 4, 10.0);
+  EXPECT_EQ(connected_components(g).component_count, 1u);
+  const ComponentInfo heavy = connected_components(g, 1.0);
+  EXPECT_EQ(heavy.component_count, 2u);
+  EXPECT_NE(heavy.component[2], heavy.component[3]);
+}
+
+TEST(ComponentsTest, ComponentIdsAreDense) {
+  WeightedGraph g(4);
+  g.add_edge(1, 3, 1.0);
+  const ComponentInfo info = connected_components(g);
+  for (VertexId c : info.component) {
+    EXPECT_LT(c, info.component_count);
+  }
+  EXPECT_EQ(info.sizes.size(), info.component_count);
+}
+
+}  // namespace
+}  // namespace lazyctrl::graph

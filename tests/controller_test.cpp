@@ -1,0 +1,143 @@
+// Unit tests for the central controller: C-LIB, the cluster queueing
+// model, and the regrouping-trigger bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace lazyctrl::core {
+namespace {
+
+Config config_with(SimDuration service, std::size_t servers = 1) {
+  Config c;
+  c.latency.controller_service = service;
+  c.controller.servers = servers;
+  return c;
+}
+
+TEST(ControllerClibTest, LearnLookupForget) {
+  CentralController ctrl(Config{});
+  const MacAddress mac = MacAddress::for_host(4);
+  ctrl.clib_learn(mac, HostId{4}, TenantId{1}, SwitchId{9});
+  const auto entry = ctrl.clib_lookup(mac);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->host, HostId{4});
+  EXPECT_EQ(entry->attached_switch, SwitchId{9});
+  ctrl.clib_forget(mac);
+  EXPECT_FALSE(ctrl.clib_lookup(mac).has_value());
+}
+
+TEST(ControllerClibTest, RelearnUpdatesLocation) {
+  CentralController ctrl(Config{});
+  const MacAddress mac = MacAddress::for_host(1);
+  ctrl.clib_learn(mac, HostId{1}, TenantId{0}, SwitchId{2});
+  ctrl.clib_learn(mac, HostId{1}, TenantId{0}, SwitchId{5});  // migration
+  EXPECT_EQ(ctrl.clib_lookup(mac)->attached_switch, SwitchId{5});
+  EXPECT_EQ(ctrl.clib_size(), 1u);
+}
+
+TEST(ControllerQueueTest, IdleServerServesImmediately) {
+  CentralController ctrl(config_with(100));
+  EXPECT_EQ(ctrl.admit_request(1000), 1100);
+}
+
+TEST(ControllerQueueTest, BackToBackRequestsQueue) {
+  CentralController ctrl(config_with(100));
+  EXPECT_EQ(ctrl.admit_request(0), 100);
+  EXPECT_EQ(ctrl.admit_request(0), 200);  // waits for the first
+  EXPECT_EQ(ctrl.admit_request(0), 300);
+}
+
+TEST(ControllerQueueTest, LateArrivalDoesNotQueue) {
+  CentralController ctrl(config_with(100));
+  ctrl.admit_request(0);
+  EXPECT_EQ(ctrl.admit_request(500), 600);  // server idle again
+}
+
+TEST(ControllerQueueTest, ClusterServesInParallel) {
+  CentralController ctrl(config_with(100, /*servers=*/3));
+  EXPECT_EQ(ctrl.server_count(), 3u);
+  // Three simultaneous requests, no queueing.
+  EXPECT_EQ(ctrl.admit_request(0), 100);
+  EXPECT_EQ(ctrl.admit_request(0), 100);
+  EXPECT_EQ(ctrl.admit_request(0), 100);
+  // The fourth queues behind the earliest-free server.
+  EXPECT_EQ(ctrl.admit_request(0), 200);
+}
+
+TEST(ControllerQueueTest, ZeroServersClampedToOne) {
+  CentralController ctrl(config_with(100, 0));
+  EXPECT_EQ(ctrl.server_count(), 1u);
+}
+
+TEST(ControllerQueueTest, CountsRequests) {
+  CentralController ctrl(config_with(10));
+  for (int i = 0; i < 5; ++i) ctrl.admit_request(i * 1000);
+  EXPECT_EQ(ctrl.total_requests(), 5u);
+}
+
+TEST(ControllerTriggerTest, NoRegroupWhenStatic) {
+  Config cfg;
+  cfg.grouping.dynamic_regrouping = false;
+  CentralController ctrl(cfg);
+  for (int i = 0; i < 100; ++i) ctrl.admit_request(i);
+  ctrl.roll_window(kMinute);
+  ctrl.roll_window(2 * kMinute);
+  EXPECT_FALSE(ctrl.should_regroup(10 * kMinute));
+}
+
+TEST(ControllerTriggerTest, FiresOnThirtyPercentGrowth) {
+  Config cfg;
+  cfg.grouping.dynamic_regrouping = true;
+  cfg.grouping.min_update_interval = 2 * kMinute;
+  CentralController ctrl(cfg);
+
+  // Window 1: 100 requests -> baseline.
+  for (int i = 0; i < 100; ++i) ctrl.admit_request(i);
+  ctrl.roll_window(kMinute);
+  EXPECT_FALSE(ctrl.should_regroup(kMinute));  // no growth yet
+
+  // Window 2: 120 requests: +20%, below the trigger.
+  for (int i = 0; i < 120; ++i) ctrl.admit_request(kMinute + i);
+  ctrl.roll_window(2 * kMinute);
+  EXPECT_FALSE(ctrl.should_regroup(2 * kMinute + 1));
+
+  // Window 3: 135 requests: +35% over baseline and interval elapsed.
+  for (int i = 0; i < 135; ++i) ctrl.admit_request(2 * kMinute + i);
+  ctrl.roll_window(3 * kMinute);
+  EXPECT_TRUE(ctrl.should_regroup(3 * kMinute));
+}
+
+TEST(ControllerTriggerTest, MinIntervalSuppresses) {
+  Config cfg;
+  cfg.grouping.dynamic_regrouping = true;
+  cfg.grouping.min_update_interval = 2 * kMinute;
+  CentralController ctrl(cfg);
+  for (int i = 0; i < 100; ++i) ctrl.admit_request(i);
+  ctrl.roll_window(kMinute);
+  ctrl.note_regrouped(kMinute);
+  for (int i = 0; i < 500; ++i) ctrl.admit_request(kMinute + i);
+  ctrl.roll_window(2 * kMinute);
+  // Massive growth but only 1 minute since the last update.
+  EXPECT_FALSE(ctrl.should_regroup(2 * kMinute));
+  EXPECT_TRUE(ctrl.should_regroup(kMinute + 2 * kMinute));
+}
+
+TEST(ControllerTriggerTest, RegroupResetsBaseline) {
+  Config cfg;
+  cfg.grouping.dynamic_regrouping = true;
+  cfg.grouping.min_update_interval = 0;
+  CentralController ctrl(cfg);
+  for (int i = 0; i < 100; ++i) ctrl.admit_request(i);
+  ctrl.roll_window(kMinute);
+  for (int i = 0; i < 200; ++i) ctrl.admit_request(kMinute + i);
+  ctrl.roll_window(2 * kMinute);
+  ASSERT_TRUE(ctrl.should_regroup(2 * kMinute));
+  ctrl.note_regrouped(2 * kMinute);
+  // Same load as the new baseline: no retrigger.
+  for (int i = 0; i < 200; ++i) ctrl.admit_request(2 * kMinute + i);
+  ctrl.roll_window(3 * kMinute);
+  EXPECT_FALSE(ctrl.should_regroup(3 * kMinute));
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

@@ -1,0 +1,134 @@
+// Unit tests for the EdgeSwitch forwarding decision — every branch of the
+// Fig. 5 routine in isolation.
+#include <gtest/gtest.h>
+
+#include "core/edge_switch.h"
+
+namespace lazyctrl::core {
+namespace {
+
+EdgeSwitch make_switch(const Config& cfg = Config{}) {
+  return EdgeSwitch(SwitchId{0}, IpAddress::for_switch(0),
+                    MacAddress{0x060000000000ULL}, cfg);
+}
+
+net::Packet packet_to(std::uint32_t dst_host, std::uint32_t tenant = 0) {
+  net::Packet p;
+  p.src_mac = MacAddress::for_host(1000);
+  p.dst_mac = MacAddress::for_host(dst_host);
+  p.tenant = TenantId{tenant};
+  return p;
+}
+
+openflow::FlowRule encap_rule(std::uint32_t dst_host, SwitchId remote,
+                              SimTime expires = openflow::kNoExpiry) {
+  openflow::FlowRule r;
+  r.priority = 10;
+  r.match.dst_mac = MacAddress::for_host(dst_host);
+  r.action.type = openflow::ActionType::kEncapTo;
+  r.action.remote_switch = remote;
+  r.expires_at = expires;
+  return r;
+}
+
+TEST(EdgeSwitchDecideTest, Step1FlowTableHitWins) {
+  EdgeSwitch sw = make_switch();
+  // Rule AND L-FIB entry for the same destination: the rule must win
+  // (Fig. 5 consults the flow table first).
+  sw.flow_table().install(encap_rule(5, SwitchId{9}));
+  sw.lfib().learn(MacAddress::for_host(5), HostId{5}, TenantId{0});
+  const auto d = sw.decide(packet_to(5), 0, ControlMode::kLazyCtrl);
+  EXPECT_EQ(d.kind, EdgeSwitch::DecisionKind::kFlowTableHit);
+  ASSERT_NE(d.rule, nullptr);
+  EXPECT_EQ(d.rule->action.remote_switch, SwitchId{9});
+}
+
+TEST(EdgeSwitchDecideTest, Step2LocalDeliver) {
+  EdgeSwitch sw = make_switch();
+  sw.lfib().learn(MacAddress::for_host(5), HostId{5}, TenantId{0});
+  const auto d = sw.decide(packet_to(5), 0, ControlMode::kLazyCtrl);
+  EXPECT_EQ(d.kind, EdgeSwitch::DecisionKind::kLocalDeliver);
+}
+
+TEST(EdgeSwitchDecideTest, Step3GfibCandidates) {
+  EdgeSwitch sw = make_switch();
+  sw.gfib().sync_peer(SwitchId{3}, {MacAddress::for_host(5)});
+  sw.gfib().sync_peer(SwitchId{7}, {MacAddress::for_host(6)});
+  const auto d = sw.decide(packet_to(5), 0, ControlMode::kLazyCtrl);
+  EXPECT_EQ(d.kind, EdgeSwitch::DecisionKind::kIntraGroup);
+  ASSERT_EQ(d.candidates.size(), 1u);
+  EXPECT_EQ(d.candidates[0], SwitchId{3});
+}
+
+TEST(EdgeSwitchDecideTest, Step4ControllerFallback) {
+  EdgeSwitch sw = make_switch();
+  sw.gfib().sync_peer(SwitchId{3}, {MacAddress::for_host(6)});
+  const auto d = sw.decide(packet_to(5), 0, ControlMode::kLazyCtrl);
+  EXPECT_EQ(d.kind, EdgeSwitch::DecisionKind::kToController);
+  EXPECT_TRUE(d.candidates.empty());
+}
+
+TEST(EdgeSwitchDecideTest, OpenFlowModeIgnoresFibs) {
+  EdgeSwitch sw = make_switch();
+  sw.lfib().learn(MacAddress::for_host(5), HostId{5}, TenantId{0});
+  sw.gfib().sync_peer(SwitchId{3}, {MacAddress::for_host(5)});
+  // The baseline has no L-FIB/G-FIB logic: a table miss punts.
+  const auto d = sw.decide(packet_to(5), 0, ControlMode::kOpenFlow);
+  EXPECT_EQ(d.kind, EdgeSwitch::DecisionKind::kToController);
+}
+
+TEST(EdgeSwitchDecideTest, HitRefreshesRuleTtl) {
+  Config cfg;
+  cfg.rules.rule_ttl = 100;
+  EdgeSwitch sw = make_switch(cfg);
+  sw.flow_table().install(encap_rule(5, SwitchId{9}, /*expires=*/50));
+  // A hit at t=40 pushes the expiry to 40 + ttl = 140.
+  ASSERT_EQ(sw.decide(packet_to(5), 40, ControlMode::kLazyCtrl).kind,
+            EdgeSwitch::DecisionKind::kFlowTableHit);
+  EXPECT_EQ(sw.decide(packet_to(5), 120, ControlMode::kLazyCtrl).kind,
+            EdgeSwitch::DecisionKind::kFlowTableHit);
+  // Without further hits the rule dies at 120 + ttl.
+  EXPECT_EQ(sw.decide(packet_to(5), 500, ControlMode::kLazyCtrl).kind,
+            EdgeSwitch::DecisionKind::kToController);
+}
+
+TEST(EdgeSwitchDecideTest, TenantScopedRules) {
+  EdgeSwitch sw = make_switch();
+  openflow::FlowRule r = encap_rule(5, SwitchId{9});
+  r.match.tenant = TenantId{2};
+  sw.flow_table().install(r);
+  EXPECT_EQ(sw.decide(packet_to(5, 2), 0, ControlMode::kLazyCtrl).kind,
+            EdgeSwitch::DecisionKind::kFlowTableHit);
+  EXPECT_EQ(sw.decide(packet_to(5, 3), 0, ControlMode::kLazyCtrl).kind,
+            EdgeSwitch::DecisionKind::kToController);
+}
+
+TEST(EdgeSwitchTest, TransitionWindow) {
+  EdgeSwitch sw = make_switch();
+  EXPECT_FALSE(sw.in_transition(0));
+  sw.set_transition_until(100);
+  EXPECT_TRUE(sw.in_transition(99));
+  EXPECT_FALSE(sw.in_transition(100));
+}
+
+TEST(EdgeSwitchTest, WindowCountersDrain) {
+  EdgeSwitch sw = make_switch();
+  sw.record_new_flow_to(SwitchId{1});
+  sw.record_new_flow_to(SwitchId{1});
+  sw.record_new_flow_to(SwitchId{2});
+  auto counts = sw.take_window_counts();
+  EXPECT_EQ(counts[SwitchId{1}], 2u);
+  EXPECT_EQ(counts[SwitchId{2}], 1u);
+  EXPECT_TRUE(sw.take_window_counts().empty());
+}
+
+TEST(EdgeSwitchTest, DesignatedFlag) {
+  EdgeSwitch sw = make_switch();
+  sw.set_designated(SwitchId{3});
+  EXPECT_FALSE(sw.is_designated());
+  sw.set_designated(SwitchId{0});
+  EXPECT_TRUE(sw.is_designated());
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

@@ -1,0 +1,107 @@
+// Tests for L-FIB and G-FIB.
+#include <gtest/gtest.h>
+
+#include "core/gfib.h"
+#include "core/lfib.h"
+
+namespace lazyctrl::core {
+namespace {
+
+TEST(LFibTest, LearnLookupForget) {
+  LFib fib;
+  const MacAddress mac = MacAddress::for_host(1);
+  EXPECT_TRUE(fib.learn(mac, HostId{1}, TenantId{2}));
+  ASSERT_TRUE(fib.contains(mac));
+  const auto entry = fib.lookup(mac);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->host, HostId{1});
+  EXPECT_EQ(entry->tenant, TenantId{2});
+  EXPECT_TRUE(fib.forget(mac));
+  EXPECT_FALSE(fib.contains(mac));
+  EXPECT_FALSE(fib.forget(mac));
+}
+
+TEST(LFibTest, RelearnUpdatesWithoutDuplicating) {
+  LFib fib;
+  const MacAddress mac = MacAddress::for_host(1);
+  EXPECT_TRUE(fib.learn(mac, HostId{1}, TenantId{0}));
+  EXPECT_FALSE(fib.learn(mac, HostId{1}, TenantId{5}));  // refresh
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_EQ(fib.lookup(mac)->tenant, TenantId{5});
+}
+
+TEST(LFibTest, MacsListsAllEntries) {
+  LFib fib;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    fib.learn(MacAddress::for_host(i), HostId{i}, TenantId{0});
+  }
+  EXPECT_EQ(fib.macs().size(), 10u);
+}
+
+TEST(LFibTest, LookupMissing) {
+  LFib fib;
+  EXPECT_FALSE(fib.lookup(MacAddress::for_host(9)).has_value());
+}
+
+TEST(GFibTest, QueryFindsOwningPeerOnly) {
+  GFib gfib(BloomParameters{16384, 8});
+  gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(10)});
+  gfib.sync_peer(SwitchId{2}, {MacAddress::for_host(20)});
+  gfib.sync_peer(SwitchId{3}, {MacAddress::for_host(30)});
+
+  const auto hits = gfib.query(MacAddress::for_host(20));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], SwitchId{2});
+}
+
+TEST(GFibTest, UnknownMacQueriesEmpty) {
+  GFib gfib(BloomParameters{16384, 8});
+  gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(10)});
+  EXPECT_TRUE(gfib.query(MacAddress::for_host(99)).empty());
+}
+
+TEST(GFibTest, ResyncReplacesPeerContents) {
+  GFib gfib(BloomParameters{16384, 8});
+  gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(10)});
+  ASSERT_FALSE(gfib.query(MacAddress::for_host(10)).empty());
+  // VM 10 moved away; peer 1 now hosts VM 11 only.
+  gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(11)});
+  EXPECT_TRUE(gfib.query(MacAddress::for_host(10)).empty());
+  EXPECT_FALSE(gfib.query(MacAddress::for_host(11)).empty());
+}
+
+TEST(GFibTest, RemovePeerAndClear) {
+  GFib gfib;
+  gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(1)});
+  gfib.sync_peer(SwitchId{2}, {MacAddress::for_host(2)});
+  EXPECT_EQ(gfib.peer_count(), 2u);
+  gfib.remove_peer(SwitchId{1});
+  EXPECT_EQ(gfib.peer_count(), 1u);
+  gfib.clear();
+  EXPECT_EQ(gfib.peer_count(), 0u);
+}
+
+TEST(GFibTest, StorageMatchesPaperExample) {
+  // §V-D: a 46-switch group -> 45 filters of 2048 bytes = 92,160 bytes.
+  GFib gfib(BloomParameters{16384, 8});
+  for (std::uint32_t i = 1; i <= 45; ++i) {
+    gfib.sync_peer(SwitchId{i}, {MacAddress::for_host(i)});
+  }
+  EXPECT_EQ(gfib.storage_bytes(), 92160u);
+}
+
+TEST(GFibTest, NoFalseNegativesUnderLoad) {
+  GFib gfib(BloomParameters{16384, 8});
+  std::vector<MacAddress> macs;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    macs.push_back(MacAddress::for_host(i));
+  }
+  gfib.sync_peer(SwitchId{7}, macs);
+  for (const MacAddress mac : macs) {
+    const auto hits = gfib.query(mac);
+    EXPECT_FALSE(hits.empty());
+  }
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

@@ -1,0 +1,386 @@
+// Tests for the graph-partitioning substrate: WeightedGraph, coarsening,
+// FM refinement, the size-constrained MLkP partitioner, Stoer-Wagner and
+// balanced bisection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/bisection.h"
+#include "graph/coarsening.h"
+#include "graph/fm_refinement.h"
+#include "graph/min_cut.h"
+#include "graph/multilevel_partitioner.h"
+#include "graph/partition.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::graph {
+namespace {
+
+/// A graph of `clusters` cliques (intra weight heavy) connected by a ring of
+/// light edges — the canonical case where a good partitioner must find the
+/// clusters.
+WeightedGraph clustered_graph(std::size_t clusters, std::size_t size,
+                              Weight intra, Weight inter) {
+  WeightedGraph g(clusters * size);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const VertexId base = static_cast<VertexId>(c * size);
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        g.add_edge(base + i, base + j, intra);
+      }
+    }
+    const VertexId next_base = static_cast<VertexId>(((c + 1) % clusters) * size);
+    g.add_edge(base, next_base, inter);
+  }
+  return g;
+}
+
+WeightedGraph random_graph(std::size_t n, double edge_prob, Rng& rng) {
+  WeightedGraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(edge_prob)) {
+        g.add_edge(u, v, 1.0 + rng.next_double() * 9.0);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(WeightedGraphTest, EmptyGraph) {
+  WeightedGraph g(0);
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.total_edge_weight(), 0.0);
+}
+
+TEST(WeightedGraphTest, AddEdgeIsSymmetric) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.5);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].vertex, 1u);
+  EXPECT_EQ(g.neighbors(1)[0].vertex, 0u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.5);
+}
+
+TEST(WeightedGraphTest, ParallelEdgesAccumulate) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+}
+
+TEST(WeightedGraphTest, SelfLoopsAndZeroWeightIgnored) {
+  WeightedGraph g(2);
+  g.add_edge(0, 0, 5.0);
+  g.add_edge(0, 1, 0.0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WeightedGraphTest, VertexWeights) {
+  WeightedGraph g(3);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 3.0);
+  g.set_vertex_weight(1, 5.0);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 7.0);
+}
+
+TEST(WeightedGraphTest, Degree) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.degree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.degree(2), 3.0);
+}
+
+TEST(PartitionTest, CutWeightCountsCrossEdgesOnce) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(1, 2, 5.0);
+  Partition p{{0, 0, 1, 1}, 2};
+  EXPECT_DOUBLE_EQ(cut_weight(g, p), 5.0);
+  EXPECT_DOUBLE_EQ(normalized_cut(g, p), 5.0 / 7.0);
+}
+
+TEST(PartitionTest, PartWeights) {
+  WeightedGraph g(3);
+  g.set_vertex_weight(2, 4.0);
+  Partition p{{0, 1, 1}, 2};
+  const auto w = part_weights(g, p);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 5.0);
+}
+
+TEST(PartitionTest, FeasibilityChecks) {
+  WeightedGraph g(3);
+  Partition p{{0, 0, 1}, 2};
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{2.0}));
+  EXPECT_FALSE(is_feasible(g, p, PartitionConstraints{1.0}));
+  Partition bad{{0, kUnassigned, 1}, 2};
+  EXPECT_FALSE(is_feasible(g, bad, PartitionConstraints{10.0}));
+}
+
+TEST(PartitionTest, CompactRemovesEmptyParts) {
+  Partition p{{0, 3, 3, 5}, 6};
+  EXPECT_EQ(compact_parts(p), 3u);
+  EXPECT_EQ(p.part_count, 3u);
+  EXPECT_EQ(p.assignment[0], 0u);
+  EXPECT_EQ(p.assignment[1], 1u);
+  EXPECT_EQ(p.assignment[3], 2u);
+}
+
+TEST(CoarseningTest, PreservesTotalVertexWeight) {
+  Rng rng(1);
+  WeightedGraph g = random_graph(60, 0.2, rng);
+  const CoarseLevel level = coarsen_once(g, rng);
+  EXPECT_LT(level.graph.vertex_count(), g.vertex_count());
+  EXPECT_NEAR(level.graph.total_vertex_weight(), g.total_vertex_weight(),
+              1e-9);
+}
+
+TEST(CoarseningTest, PreservesNonCollapsedEdgeWeight) {
+  // Edge weight can only disappear into collapsed pairs; coarse total +
+  // collapsed internal weight == fine total.
+  Rng rng(2);
+  WeightedGraph g = random_graph(40, 0.3, rng);
+  const CoarseLevel level = coarsen_once(g, rng);
+  double internal = 0;
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const Neighbor& n : g.neighbors(u)) {
+      if (n.vertex > u &&
+          level.fine_to_coarse[u] == level.fine_to_coarse[n.vertex]) {
+        internal += n.weight;
+      }
+    }
+  }
+  EXPECT_NEAR(level.graph.total_edge_weight() + internal,
+              g.total_edge_weight(), 1e-9);
+}
+
+TEST(CoarseningTest, MapCoversAllFineVertices) {
+  Rng rng(3);
+  WeightedGraph g = random_graph(50, 0.1, rng);
+  const CoarseLevel level = coarsen_once(g, rng);
+  ASSERT_EQ(level.fine_to_coarse.size(), g.vertex_count());
+  for (VertexId cv : level.fine_to_coarse) {
+    EXPECT_LT(cv, level.graph.vertex_count());
+  }
+}
+
+TEST(CoarseningTest, CoarsenToReachesTargetOrStalls) {
+  Rng rng(4);
+  WeightedGraph g = random_graph(200, 0.1, rng);
+  const auto levels = coarsen_to(g, 30, rng);
+  ASSERT_FALSE(levels.empty());
+  // Each level must shrink.
+  std::size_t prev = g.vertex_count();
+  for (const auto& level : levels) {
+    EXPECT_LT(level.graph.vertex_count(), prev);
+    prev = level.graph.vertex_count();
+  }
+}
+
+TEST(FmRefinementTest, ImprovesBadPartitionOfClusters) {
+  // Assign clusters deliberately wrongly; FM should recover most of it.
+  // The constraint leaves slack (12 > 8) because the move-based refiner
+  // needs transient imbalance to migrate vertices between parts.
+  WeightedGraph g = clustered_graph(2, 8, 10.0, 1.0);
+  Partition p;
+  p.part_count = 2;
+  p.assignment.resize(16);
+  for (VertexId v = 0; v < 16; ++v) p.assignment[v] = v % 2;  // interleaved
+  const Weight before = cut_weight(g, p);
+  Rng rng(5);
+  refine_partition(g, p, PartitionConstraints{12.0}, RefineOptions{}, rng);
+  const Weight after = cut_weight(g, p);
+  EXPECT_LT(after, before * 0.35);
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{12.0}));
+}
+
+TEST(FmRefinementTest, NeverViolatesSizeConstraint) {
+  Rng rng(6);
+  WeightedGraph g = random_graph(40, 0.2, rng);
+  Partition p;
+  p.part_count = 4;
+  p.assignment.resize(40);
+  for (VertexId v = 0; v < 40; ++v) p.assignment[v] = v % 4;
+  refine_partition(g, p, PartitionConstraints{12.0}, RefineOptions{}, rng);
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{12.0}));
+}
+
+TEST(FmRefinementTest, RepairFixesOverweightParts) {
+  Rng rng(7);
+  WeightedGraph g = random_graph(30, 0.3, rng);
+  Partition p;
+  p.part_count = 2;
+  p.assignment.assign(30, 0);  // everything in part 0
+  ASSERT_FALSE(is_feasible(g, p, PartitionConstraints{10.0}));
+  EXPECT_TRUE(repair_overweight(g, p, PartitionConstraints{10.0}, rng));
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{10.0}));
+}
+
+TEST(FmRefinementTest, RepairReportsUnfixableSingleton) {
+  WeightedGraph g(2);
+  g.set_vertex_weight(0, 100.0);
+  Partition p{{0, 1}, 2};
+  Rng rng(8);
+  EXPECT_FALSE(repair_overweight(g, p, PartitionConstraints{10.0}, rng));
+}
+
+TEST(MultilevelPartitionerTest, RecoversPlantedClusters) {
+  WeightedGraph g = clustered_graph(4, 10, 10.0, 0.5);
+  Rng rng(9);
+  MultilevelPartitioner mp;
+  Partition p = mp.partition(g, 4, PartitionConstraints{10.0}, rng);
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{10.0}));
+  // Each planted cluster should land in a single part.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const PartId part = p.assignment[c * 10];
+    for (std::size_t i = 1; i < 10; ++i) {
+      EXPECT_EQ(p.assignment[c * 10 + i], part) << "cluster " << c;
+    }
+  }
+  EXPECT_LT(normalized_cut(g, p), 0.02);
+}
+
+TEST(MultilevelPartitionerTest, EmptyAndSingletonGraphs) {
+  Rng rng(10);
+  MultilevelPartitioner mp;
+  WeightedGraph empty(0);
+  EXPECT_EQ(mp.partition(empty, 3, PartitionConstraints{5.0}, rng).part_count,
+            0u);
+  WeightedGraph one(1);
+  Partition p = mp.partition(one, 3, PartitionConstraints{5.0}, rng);
+  EXPECT_EQ(p.part_count, 1u);
+  EXPECT_EQ(p.assignment[0], 0u);
+}
+
+TEST(MultilevelPartitionerTest, DeterministicGivenSeed) {
+  WeightedGraph g = clustered_graph(3, 12, 5.0, 1.0);
+  MultilevelPartitioner mp;
+  Rng r1(77), r2(77);
+  const Partition p1 = mp.partition(g, 3, PartitionConstraints{12.0}, r1);
+  const Partition p2 = mp.partition(g, 3, PartitionConstraints{12.0}, r2);
+  EXPECT_EQ(p1.assignment, p2.assignment);
+}
+
+// Property sweep: feasibility must hold for every (n, k, limit) combination
+// on random graphs — the core guarantee SGI relies on.
+class MlkpFeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 double>> {};
+
+TEST_P(MlkpFeasibilityTest, AlwaysFeasible) {
+  const auto [n, k, limit] = GetParam();
+  Rng rng(n * 131 + k * 17 + static_cast<std::uint64_t>(limit));
+  WeightedGraph g = random_graph(n, 0.08, rng);
+  MultilevelPartitioner mp;
+  Partition p = mp.partition(g, k, PartitionConstraints{limit}, rng);
+  EXPECT_TRUE(is_feasible(g, p, PartitionConstraints{limit}))
+      << "n=" << n << " k=" << k << " limit=" << limit;
+  // Every vertex assigned.
+  EXPECT_EQ(p.assignment.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MlkpFeasibilityTest,
+    ::testing::Values(std::make_tuple(10, 2, 6.0),
+                      std::make_tuple(50, 5, 12.0),
+                      std::make_tuple(100, 4, 30.0),
+                      std::make_tuple(100, 10, 11.0),
+                      std::make_tuple(273, 6, 46.0),  // the paper's scale
+                      std::make_tuple(60, 60, 1.0),
+                      std::make_tuple(40, 1, 40.0),
+                      std::make_tuple(200, 20, 10.0)));
+
+TEST(StoerWagnerTest, KnownTinyGraph) {
+  // Two triangles joined by a single light edge: min cut = that edge.
+  WeightedGraph g(6);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = u + 1; v < 3; ++v) g.add_edge(u, v, 10.0);
+  }
+  for (VertexId u = 3; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) g.add_edge(u, v, 10.0);
+  }
+  g.add_edge(2, 3, 1.5);
+  const MinCutResult r = stoer_wagner_min_cut(g);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 1.5);
+  // The side must be exactly one of the triangles.
+  EXPECT_EQ(r.side.size(), 3u);
+}
+
+TEST(StoerWagnerTest, DisconnectedGraphHasZeroCut) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(stoer_wagner_min_cut(g).cut_weight, 0.0);
+}
+
+TEST(StoerWagnerTest, SingleVertex) {
+  WeightedGraph g(1);
+  EXPECT_DOUBLE_EQ(stoer_wagner_min_cut(g).cut_weight, 0.0);
+}
+
+TEST(StoerWagnerTest, MatchesBruteForceOnRandomGraphs) {
+  // Exhaustive 2^(n-1) check on small graphs.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    WeightedGraph g = random_graph(9, 0.5, rng);
+    const MinCutResult r = stoer_wagner_min_cut(g);
+
+    double best = std::numeric_limits<double>::max();
+    const std::size_t n = g.vertex_count();
+    for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+      Partition p;
+      p.part_count = 2;
+      p.assignment.resize(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        p.assignment[v] = (v < n - 1 && ((mask >> v) & 1)) ? 1 : 0;
+      }
+      best = std::min(best, cut_weight(g, p));
+    }
+    EXPECT_NEAR(r.cut_weight, best, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(BisectionTest, SplitsClustersApart) {
+  WeightedGraph g = clustered_graph(2, 10, 8.0, 0.5);
+  Rng rng(11);
+  const BisectionResult r = min_bisection(g, 10.0, rng);
+  // Cut should be the single light ring edge pair (2 x 0.5).
+  EXPECT_LE(r.cut_weight, 1.0 + 1e-9);
+  double side_w[2] = {0, 0};
+  for (PartId s : r.side) {
+    ASSERT_LT(s, 2u);
+    side_w[s] += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(side_w[0], 10.0);
+  EXPECT_DOUBLE_EQ(side_w[1], 10.0);
+}
+
+TEST(BisectionTest, RespectsSideLimit) {
+  Rng rng(12);
+  WeightedGraph g = random_graph(30, 0.2, rng);
+  const BisectionResult r = min_bisection(g, 16.0, rng);
+  double side_w[2] = {0, 0};
+  for (std::size_t v = 0; v < 30; ++v) side_w[r.side[v]] += 1.0;
+  EXPECT_LE(side_w[0], 16.0);
+  EXPECT_LE(side_w[1], 16.0);
+}
+
+TEST(BisectionTest, EmptyGraph) {
+  WeightedGraph g(0);
+  Rng rng(13);
+  const BisectionResult r = min_bisection(g, 1.0, rng);
+  EXPECT_TRUE(r.side.empty());
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+}
+
+}  // namespace
+}  // namespace lazyctrl::graph

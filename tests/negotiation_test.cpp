@@ -1,0 +1,88 @@
+// Tests for the Rubinstein-bargaining group-size negotiation (appendix C).
+#include <gtest/gtest.h>
+
+#include "core/negotiation.h"
+
+namespace lazyctrl::core {
+namespace {
+
+TEST(NegotiationTest, ResultWithinPreferredRange) {
+  NegotiationParams p;
+  p.switch_preferred_limit = 16;
+  p.controller_preferred_limit = 128;
+  const std::size_t limit = negotiate_group_size(p);
+  EXPECT_GE(limit, 16u);
+  EXPECT_LE(limit, 128u);
+}
+
+TEST(NegotiationTest, PatientControllerGetsLargerGroups) {
+  NegotiationParams patient;
+  patient.controller_discount = 0.99;
+  patient.switch_discount = 0.5;
+  NegotiationParams impatient = patient;
+  impatient.controller_discount = 0.2;
+  EXPECT_GT(negotiate_group_size(patient), negotiate_group_size(impatient));
+}
+
+TEST(NegotiationTest, PatientSwitchesGetSmallerGroups) {
+  NegotiationParams weak;
+  weak.switch_discount = 0.3;
+  NegotiationParams strong = weak;
+  strong.switch_discount = 0.95;
+  EXPECT_LT(negotiate_group_size(strong), negotiate_group_size(weak));
+}
+
+TEST(NegotiationTest, ClosedFormMatchesHandComputation) {
+  // δc = 0.9, δs = 0.8 -> x* = (1-0.8)/(1-0.72) = 0.714285...
+  NegotiationParams p;
+  p.controller_discount = 0.9;
+  p.switch_discount = 0.8;
+  p.switch_preferred_limit = 0;
+  p.controller_preferred_limit = 28;
+  // 0 + 0.714285 * 28 = 20.
+  EXPECT_EQ(negotiate_group_size(p), 20u);
+}
+
+TEST(NegotiationTest, EqualPreferencesAreFixed) {
+  NegotiationParams p;
+  p.switch_preferred_limit = 42;
+  p.controller_preferred_limit = 42;
+  EXPECT_EQ(negotiate_group_size(p), 42u);
+}
+
+TEST(NegotiationTest, InvertedPreferencesStillBounded) {
+  // Degenerate config where switches want bigger groups than the
+  // controller; the result must stay within [min, max].
+  NegotiationParams p;
+  p.switch_preferred_limit = 100;
+  p.controller_preferred_limit = 10;
+  const std::size_t limit = negotiate_group_size(p);
+  EXPECT_GE(limit, 10u);
+  EXPECT_LE(limit, 100u);
+}
+
+TEST(NegotiationTest, NeverReturnsZero) {
+  NegotiationParams p;
+  p.switch_preferred_limit = 0;
+  p.controller_preferred_limit = 0;
+  EXPECT_GE(negotiate_group_size(p), 1u);
+}
+
+TEST(MemoryDerivedLimitTest, PaperSizedExample) {
+  // 92,160 bytes of BF memory at 2048 bytes per peer -> 45 peers -> a
+  // group of 46 switches (the §V-D example).
+  EXPECT_EQ(preferred_limit_from_memory(92160, 2048), 46u);
+}
+
+TEST(MemoryDerivedLimitTest, ReservedMemoryReducesLimit) {
+  EXPECT_EQ(preferred_limit_from_memory(92160, 2048, 2048 * 5), 41u);
+}
+
+TEST(MemoryDerivedLimitTest, DegenerateInputs) {
+  EXPECT_EQ(preferred_limit_from_memory(0, 2048), 1u);
+  EXPECT_EQ(preferred_limit_from_memory(100, 0), 1u);
+  EXPECT_EQ(preferred_limit_from_memory(100, 2048, 1000), 1u);
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

@@ -1,0 +1,94 @@
+// Tests for the run-report formatter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/network.h"
+#include "core/report.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+#include "workload/intensity.h"
+
+namespace lazyctrl::core {
+namespace {
+
+struct Runs {
+  std::unique_ptr<Network> lazy;
+  std::unique_ptr<Network> baseline;
+};
+
+Runs make_runs() {
+  Rng rng(1);
+  topo::MultiTenantOptions topt;
+  topt.switch_count = 10;
+  topt.tenant_count = 5;
+  auto topo = topo::build_multi_tenant(topt, rng);
+  workload::RealLikeOptions wopt;
+  wopt.total_flows = 2000;
+  wopt.horizon = kHour;
+  auto trace = workload::generate_real_like(topo, wopt, rng);
+
+  Runs r;
+  Config lc;
+  lc.mode = ControlMode::kLazyCtrl;
+  lc.grouping.group_size_limit = 4;
+  r.lazy = std::make_unique<Network>(topo, lc);
+  r.lazy->bootstrap(workload::build_intensity_graph(trace, topo));
+  r.lazy->replay(trace);
+
+  Config oc;
+  oc.mode = ControlMode::kOpenFlow;
+  r.baseline = std::make_unique<Network>(topo, oc);
+  r.baseline->bootstrap();
+  r.baseline->replay(trace);
+  return r;
+}
+
+TEST(ReportTest, LazyCtrlReportMentionsGroupState) {
+  const Runs r = make_runs();
+  const std::string report = report_string(*r.lazy);
+  EXPECT_NE(report.find("LazyCtrl run"), std::string::npos);
+  EXPECT_NE(report.find("groups:"), std::string::npos);
+  EXPECT_NE(report.find("G-FIB bytes"), std::string::npos);
+  EXPECT_NE(report.find("controller packet-ins"), std::string::npos);
+}
+
+TEST(ReportTest, OpenFlowReportOmitsGroupState) {
+  const Runs r = make_runs();
+  const std::string report = report_string(*r.baseline);
+  EXPECT_NE(report.find("OpenFlow run"), std::string::npos);
+  EXPECT_EQ(report.find("G-FIB"), std::string::npos);
+}
+
+TEST(ReportTest, SeriesCanBeSuppressed) {
+  const Runs r = make_runs();
+  ReportOptions opt;
+  opt.include_series = false;
+  const std::string report = report_string(*r.lazy, opt);
+  EXPECT_EQ(report.find("requests/s:"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonEndsWithReduction) {
+  const Runs r = make_runs();
+  std::ostringstream oss;
+  write_comparison(oss, *r.baseline, *r.lazy);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("workload reduction"), std::string::npos);
+  // Both run headers present.
+  EXPECT_NE(s.find("OpenFlow run"), std::string::npos);
+  EXPECT_NE(s.find("LazyCtrl run"), std::string::npos);
+}
+
+TEST(ReportTest, CountersMatchMetrics) {
+  const Runs r = make_runs();
+  const std::string report = report_string(*r.lazy);
+  EXPECT_NE(report.find(std::to_string(r.lazy->metrics().flows_seen)),
+            std::string::npos);
+  EXPECT_NE(
+      report.find(std::to_string(r.lazy->metrics().controller_packet_ins)),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

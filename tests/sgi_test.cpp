@@ -1,0 +1,190 @@
+// Tests for the SGI grouping algorithm: IniGroup feasibility/quality and
+// IncUpdate's merge-and-split refinement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/sgi.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::core {
+namespace {
+
+/// Intensity graph with `clusters` heavy cliques connected weakly.
+graph::WeightedGraph clustered(std::size_t clusters, std::size_t size,
+                               double intra, double inter) {
+  graph::WeightedGraph g(clusters * size);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto base = static_cast<graph::VertexId>(c * size);
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        g.add_edge(base + i, base + j, intra);
+      }
+    }
+    const auto nxt = static_cast<graph::VertexId>(((c + 1) % clusters) * size);
+    g.add_edge(base, nxt, inter);
+  }
+  return g;
+}
+
+std::vector<std::size_t> group_sizes(const Grouping& g) {
+  std::vector<std::size_t> sizes(g.group_count, 0);
+  for (std::uint32_t x : g.switch_to_group) ++sizes[x];
+  return sizes;
+}
+
+TEST(GroupingTest, MembersAndCompact) {
+  Grouping g;
+  g.switch_to_group = {0, 2, 2, 0};
+  g.group_count = 3;
+  g.compact();
+  EXPECT_EQ(g.group_count, 2u);
+  const auto members = g.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], (std::vector<SwitchId>{SwitchId{0}, SwitchId{3}}));
+  EXPECT_EQ(members[1], (std::vector<SwitchId>{SwitchId{1}, SwitchId{2}}));
+}
+
+TEST(InterGroupIntensityTest, AllInOneGroupIsZero) {
+  graph::WeightedGraph g = clustered(2, 4, 1.0, 1.0);
+  Grouping grouping;
+  grouping.switch_to_group.assign(8, 0);
+  grouping.group_count = 1;
+  EXPECT_DOUBLE_EQ(inter_group_intensity(g, grouping), 0.0);
+}
+
+TEST(InterGroupIntensityTest, FullySeparatedCountsEverything) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1, 5.0);
+  Grouping grouping;
+  grouping.switch_to_group = {0, 1};
+  grouping.group_count = 2;
+  EXPECT_DOUBLE_EQ(inter_group_intensity(g, grouping), 1.0);
+}
+
+TEST(IniGroupTest, RespectsSizeLimit) {
+  Rng rng(1);
+  graph::WeightedGraph g = clustered(6, 10, 5.0, 0.5);
+  Sgi sgi(SgiOptions{.group_size_limit = 12});
+  const Grouping grouping = sgi.initial_grouping(g, rng);
+  for (std::size_t size : group_sizes(grouping)) {
+    EXPECT_LE(size, 12u);
+  }
+  // Every switch assigned to a valid group.
+  for (std::uint32_t x : grouping.switch_to_group) {
+    EXPECT_LT(x, grouping.group_count);
+  }
+}
+
+TEST(IniGroupTest, FindsClusterStructure) {
+  Rng rng(2);
+  graph::WeightedGraph g = clustered(4, 10, 10.0, 0.2);
+  Sgi sgi(SgiOptions{.group_size_limit = 10});
+  const Grouping grouping = sgi.initial_grouping(g, rng);
+  // Near-perfect grouping leaves only the weak ring edges across groups.
+  EXPECT_LT(inter_group_intensity(g, grouping), 0.02);
+}
+
+TEST(IniGroupTest, GroupCountMatchesEstimate) {
+  Rng rng(3);
+  graph::WeightedGraph g = clustered(5, 10, 3.0, 0.3);
+  Sgi sgi(SgiOptions{.group_size_limit = 10});
+  const Grouping grouping = sgi.initial_grouping(g, rng);
+  // k = ceil(50/10) = 5 groups expected (the partitioner may add more only
+  // if the size constraint forces it, which it does not here).
+  EXPECT_GE(grouping.group_count, 5u);
+  EXPECT_LE(grouping.group_count, 7u);
+}
+
+TEST(IniGroupTest, EmptyGraph) {
+  Rng rng(4);
+  graph::WeightedGraph g(0);
+  Sgi sgi(SgiOptions{});
+  const Grouping grouping = sgi.initial_grouping(g, rng);
+  EXPECT_EQ(grouping.group_count, 0u);
+  EXPECT_TRUE(grouping.switch_to_group.empty());
+}
+
+TEST(IncUpdateTest, RepairsDriftedGrouping) {
+  // Start from a grouping that was good for *old* traffic, then present a
+  // recent intensity graph where two switches moved their affinity across
+  // groups; IncUpdate must reduce Winter.
+  // Limit 9 leaves one slot of slack so the drifted vertex can change
+  // groups (at limit 8 the current grouping is already optimal-feasible).
+  Rng rng(5);
+  graph::WeightedGraph old_g = clustered(2, 8, 5.0, 0.5);
+  Sgi sgi(SgiOptions{.group_size_limit = 9});
+  Grouping grouping = sgi.initial_grouping(old_g, rng);
+  ASSERT_EQ(grouping.group_count, 2u);
+
+  // Recent traffic: vertex 0 (group A) now talks mostly to group B.
+  graph::WeightedGraph recent = clustered(2, 8, 5.0, 0.5);
+  for (graph::VertexId v = 8; v < 16; ++v) recent.add_edge(0, v, 8.0);
+
+  const auto result = sgi.incremental_update(grouping, recent, rng);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_LT(result.inter_group_after, result.inter_group_before);
+  EXPECT_FALSE(result.touched_groups.empty());
+  // Still feasible.
+  for (std::size_t size : group_sizes(grouping)) EXPECT_LE(size, 9u);
+}
+
+TEST(IncUpdateTest, NoopWhenGroupingAlreadyOptimal) {
+  Rng rng(6);
+  graph::WeightedGraph g = clustered(3, 6, 10.0, 0.1);
+  Sgi sgi(SgiOptions{.group_size_limit = 6});
+  Grouping grouping = sgi.initial_grouping(g, rng);
+  const double before = inter_group_intensity(g, grouping);
+  const auto result = sgi.incremental_update(grouping, g, rng);
+  EXPECT_DOUBLE_EQ(result.inter_group_after, before);
+  EXPECT_TRUE(result.touched_groups.empty());
+}
+
+TEST(IncUpdateTest, SingleGroupIsNoop) {
+  Rng rng(7);
+  graph::WeightedGraph g = clustered(1, 6, 1.0, 0.0);
+  Sgi sgi(SgiOptions{.group_size_limit = 10});
+  Grouping grouping;
+  grouping.switch_to_group.assign(6, 0);
+  grouping.group_count = 1;
+  const auto result = sgi.incremental_update(grouping, g, rng);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(IncUpdateTest, ParallelModeTouchesMultiplePairs) {
+  // Four clusters with drifted traffic between two disjoint pairs; the
+  // parallel variant (appendix B) should fix both in one invocation.
+  Rng rng(8);
+  graph::WeightedGraph old_g = clustered(4, 6, 5.0, 0.2);
+  Sgi seq(SgiOptions{.group_size_limit = 6, .max_iterations = 1,
+                     .parallel = false});
+  Sgi par(SgiOptions{.group_size_limit = 6, .max_iterations = 1,
+                     .parallel = true, .parallel_batch = 2});
+
+  graph::WeightedGraph recent = clustered(4, 6, 5.0, 0.2);
+  // Drift: swap affinity of one vertex between groups 0<->1 and 2<->3.
+  for (graph::VertexId v = 6; v < 12; ++v) recent.add_edge(0, v, 9.0);
+  for (graph::VertexId v = 18; v < 24; ++v) recent.add_edge(12, v, 9.0);
+
+  Grouping g1 = seq.initial_grouping(old_g, rng);
+  Grouping g2 = g1;
+  Rng r1(9), r2(9);
+  const auto res_seq = seq.incremental_update(g1, recent, r1);
+  const auto res_par = par.incremental_update(g2, recent, r2);
+  // With a single iteration, parallel handles >= as many pairs.
+  EXPECT_GE(res_par.touched_groups.size(), res_seq.touched_groups.size());
+  EXPECT_LE(res_par.inter_group_after, res_seq.inter_group_after + 1e-9);
+}
+
+TEST(IncUpdateTest, DeterministicForSeed) {
+  graph::WeightedGraph g = clustered(3, 8, 4.0, 0.5);
+  Sgi sgi(SgiOptions{.group_size_limit = 8});
+  Rng ra(11), rb(11);
+  Grouping a = sgi.initial_grouping(g, ra);
+  Grouping b = sgi.initial_grouping(g, rb);
+  EXPECT_EQ(a.switch_to_group, b.switch_to_group);
+}
+
+}  // namespace
+}  // namespace lazyctrl::core

@@ -1,0 +1,187 @@
+// Tests for the discrete-event simulator and latency channels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+namespace lazyctrl::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime inner_fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { inner_fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(inner_fired, 150);
+}
+
+TEST(SimulatorTest, PastDeadlinesClampToNow) {
+  Simulator s;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { EXPECT_EQ(s.now(), 100); });
+  });
+  s.run();
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator s;
+  const EventId id = s.schedule_at(1, [] {});
+  s.run();
+  s.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator s;
+  int fires = 0;
+  s.schedule_periodic(10, [&] { ++fires; });
+  s.run_until(55);
+  EXPECT_EQ(fires, 5);  // t = 10,20,30,40,50
+  EXPECT_EQ(s.now(), 55);
+}
+
+TEST(SimulatorTest, PeriodicCancelStopsSeries) {
+  Simulator s;
+  int fires = 0;
+  const EventId id = s.schedule_periodic(10, [&] { ++fires; });
+  s.schedule_at(35, [&] { s.cancel(id); });
+  s.run_until(100);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulatorTest, PeriodicCanCancelItself) {
+  Simulator s;
+  int fires = 0;
+  EventId id = 0;
+  id = s.schedule_periodic(10, [&] {
+    if (++fires == 2) s.cancel(id);
+  });
+  s.run_until(100);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(1234);
+  EXPECT_EQ(s.now(), 1234);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotExecuteLaterEvents) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(100, [&] { fired = true; });
+  s.run_until(99);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator s;
+  int fires = 0;
+  s.schedule_at(1, [&] { ++fires; });
+  s.schedule_at(2, [&] { ++fires; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulatorTest, ProcessedEventsCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.processed_events(), 7u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreExecuted) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(ChannelTest, DeliversAfterLatency) {
+  Simulator s;
+  Channel ch(s, 100);
+  SimTime delivered_at = -1;
+  s.schedule_at(50, [&] {
+    ch.deliver([&] { delivered_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(delivered_at, 150);
+  EXPECT_EQ(ch.delivered_count(), 1u);
+}
+
+TEST(ChannelTest, DropsWhenDown) {
+  Simulator s;
+  Channel ch(s, 10);
+  ch.set_up(false);
+  bool delivered = false;
+  EXPECT_FALSE(ch.deliver([&] { delivered = true; }));
+  s.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(ch.dropped_count(), 1u);
+  EXPECT_EQ(ch.delivered_count(), 0u);
+}
+
+TEST(ChannelTest, RecoversAfterSetUp) {
+  Simulator s;
+  Channel ch(s, 10);
+  ch.set_up(false);
+  ch.deliver([] {});
+  ch.set_up(true);
+  bool delivered = false;
+  EXPECT_TRUE(ch.deliver([&] { delivered = true; }));
+  s.run();
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace lazyctrl::sim

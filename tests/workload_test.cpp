@@ -1,0 +1,382 @@
+// Tests for trace generation, statistics and the intensity graph.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+#include "workload/intensity.h"
+#include "workload/stats.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::workload {
+namespace {
+
+topo::Topology small_topology(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  topo::MultiTenantOptions opt;
+  opt.switch_count = 24;
+  opt.tenant_count = 12;
+  opt.min_vms_per_tenant = 10;
+  opt.max_vms_per_tenant = 30;
+  return topo::build_multi_tenant(opt, rng);
+}
+
+TEST(DiurnalProfileTest, CumulativeIsMonotoneAndEndsAtOne) {
+  const auto cdf = DiurnalProfile::business_day().cumulative();
+  double prev = 0;
+  for (double x : cdf) {
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+  EXPECT_DOUBLE_EQ(cdf[23], 1.0);
+}
+
+TEST(DiurnalProfileTest, BusinessDayPeaksInAfternoon) {
+  const auto p = DiurnalProfile::business_day();
+  double night = p.hourly_weight[3], peak = p.hourly_weight[14];
+  EXPECT_GT(peak, 2 * night);
+}
+
+TEST(FinalizeTraceTest, SortsByStartAndAssignsDenseIds) {
+  Trace t;
+  t.flows.push_back(Flow{9, HostId{0}, HostId{1}, 300, 1, 100});
+  t.flows.push_back(Flow{9, HostId{0}, HostId{1}, 100, 1, 100});
+  t.flows.push_back(Flow{9, HostId{0}, HostId{1}, 200, 1, 100});
+  finalize_trace(t);
+  EXPECT_EQ(t.flows[0].start, 100);
+  EXPECT_EQ(t.flows[2].start, 300);
+  for (std::size_t i = 0; i < t.flows.size(); ++i) {
+    EXPECT_EQ(t.flows[i].id, i);
+  }
+}
+
+TEST(RealLikeGeneratorTest, ProducesRequestedFlowCount) {
+  auto topo = small_topology();
+  Rng rng(2);
+  RealLikeOptions opt;
+  opt.total_flows = 5000;
+  const Trace t = generate_real_like(topo, opt, rng);
+  EXPECT_EQ(t.flow_count(), 5000u);
+}
+
+TEST(RealLikeGeneratorTest, FlowsSortedWithinHorizon) {
+  auto topo = small_topology();
+  Rng rng(3);
+  RealLikeOptions opt;
+  opt.total_flows = 2000;
+  const Trace t = generate_real_like(topo, opt, rng);
+  SimTime prev = 0;
+  for (const Flow& f : t.flows) {
+    EXPECT_GE(f.start, prev);
+    EXPECT_LT(f.start, opt.horizon);
+    EXPECT_GE(f.packets, 1u);
+    EXPECT_NE(f.src, f.dst);
+    prev = f.start;
+  }
+}
+
+TEST(RealLikeGeneratorTest, TrafficIsSkewed) {
+  // Paper §II-A: ~10% of communicating pairs carry ~90% of flows.
+  auto topo = small_topology();
+  Rng rng(4);
+  RealLikeOptions opt;
+  opt.total_flows = 40000;
+  const Trace t = generate_real_like(topo, opt, rng);
+  const TraceStats stats = compute_stats(t, topo);
+  EXPECT_GT(stats.top10_pair_flow_share, 0.75);
+  EXPECT_LE(stats.top10_pair_flow_share, 1.0);
+}
+
+TEST(RealLikeGeneratorTest, TrafficIsLocalized) {
+  // Paper §II-A: 5-way partition leaves < ~10% inter-group and centrality
+  // around 0.85. We check the shape, generously.
+  auto topo = small_topology();
+  Rng rng(5);
+  RealLikeOptions opt;
+  opt.total_flows = 40000;
+  const Trace t = generate_real_like(topo, opt, rng);
+  const TraceStats stats = compute_stats(t, topo, 5);
+  EXPECT_GT(stats.avg_centrality, 0.6);
+  EXPECT_GT(stats.intra_group_flow_fraction, 0.7);
+}
+
+TEST(RealLikeGeneratorTest, DiurnalShapeVisible) {
+  auto topo = small_topology();
+  Rng rng(6);
+  RealLikeOptions opt;
+  opt.total_flows = 50000;
+  const Trace t = generate_real_like(topo, opt, rng);
+  std::size_t night = 0, afternoon = 0;
+  for (const Flow& f : t.flows) {
+    const auto hour = f.start / kHour;
+    if (hour >= 2 && hour < 5) ++night;
+    if (hour >= 13 && hour < 16) ++afternoon;
+  }
+  EXPECT_GT(afternoon, 2 * night);
+}
+
+TEST(SyntheticGeneratorTest, CentralityDecreasesFromSynAToSynC) {
+  auto topo = small_topology(7);
+  SyntheticOptions a;  // Syn-A: p=90, q=10
+  a.p = 90;
+  a.q = 10;
+  a.total_flows = 30000;
+  SyntheticOptions b;  // Syn-B
+  b.p = 70;
+  b.q = 20;
+  b.total_flows = 30000;
+  SyntheticOptions c;  // Syn-C
+  c.p = 70;
+  c.q = 30;
+  c.total_flows = 30000;
+  Rng r1(8), r2(8), r3(8);
+  const auto sa = compute_stats(generate_synthetic(topo, a, r1), topo);
+  const auto sb = compute_stats(generate_synthetic(topo, b, r2), topo);
+  const auto sc = compute_stats(generate_synthetic(topo, c, r3), topo);
+  EXPECT_GT(sa.avg_centrality, sb.avg_centrality);
+  EXPECT_GT(sb.avg_centrality, sc.avg_centrality);
+}
+
+TEST(SyntheticGeneratorTest, RespectsFlowCountAndHorizon) {
+  auto topo = small_topology(9);
+  Rng rng(10);
+  SyntheticOptions opt;
+  opt.total_flows = 1234;
+  opt.horizon = 6 * kHour;
+  const Trace t = generate_synthetic(topo, opt, rng);
+  EXPECT_EQ(t.flow_count(), 1234u);
+  for (const Flow& f : t.flows) EXPECT_LT(f.start, 6 * kHour);
+}
+
+TEST(ExpandTraceTest, AddsOnlyNewPairsInWindow) {
+  auto topo = small_topology(11);
+  Rng rng(12);
+  RealLikeOptions opt;
+  opt.total_flows = 5000;
+  const Trace base = generate_real_like(topo, opt, rng);
+
+  std::unordered_set<std::uint64_t> base_pairs;
+  for (const Flow& f : base.flows) {
+    std::uint32_t lo = f.src.value(), hi = f.dst.value();
+    if (lo > hi) std::swap(lo, hi);
+    base_pairs.insert((static_cast<std::uint64_t>(hi) << 32) | lo);
+  }
+
+  const Trace expanded =
+      expand_trace(base, topo, 0.30, 8 * kHour, 24 * kHour, rng);
+  EXPECT_NEAR(static_cast<double>(expanded.flow_count()),
+              static_cast<double>(base.flow_count()) * 1.30,
+              base.flow_count() * 0.02);
+
+  std::size_t extra = 0;
+  for (const Flow& f : expanded.flows) {
+    std::uint32_t lo = f.src.value(), hi = f.dst.value();
+    if (lo > hi) std::swap(lo, hi);
+    if (!base_pairs.contains((static_cast<std::uint64_t>(hi) << 32) | lo)) {
+      ++extra;
+      EXPECT_GE(f.start, 8 * kHour);
+      EXPECT_LT(f.start, 24 * kHour);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(extra),
+              static_cast<double>(base.flow_count()) * 0.30,
+              base.flow_count() * 0.02);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  auto topo = small_topology(13);
+  const TraceStats s = compute_stats(Trace{}, topo);
+  EXPECT_EQ(s.flow_count, 0u);
+  EXPECT_EQ(s.distinct_pairs, 0u);
+}
+
+TEST(TraceStatsTest, SinglePairIsFullyCentral) {
+  auto topo = small_topology(14);
+  Trace t;
+  Flow f;
+  f.src = HostId{0};
+  f.dst = HostId{1};
+  f.start = 0;
+  for (int i = 0; i < 100; ++i) t.flows.push_back(f);
+  finalize_trace(t);
+  const TraceStats s = compute_stats(t, topo, 5);
+  EXPECT_EQ(s.distinct_pairs, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_centrality, 1.0);
+  EXPECT_DOUBLE_EQ(s.intra_group_flow_fraction, 1.0);
+}
+
+TEST(IntensityGraphTest, AggregatesSwitchPairsAsRates) {
+  topo::Topology t;
+  const SwitchId s0 = t.add_switch();
+  const SwitchId s1 = t.add_switch();
+  const HostId h0 = t.add_host(TenantId{0}, s0);
+  const HostId h1 = t.add_host(TenantId{0}, s1);
+  const HostId h2 = t.add_host(TenantId{0}, s1);
+
+  Trace trace;
+  trace.horizon = 10 * kSecond;
+  for (int i = 0; i < 30; ++i) {
+    Flow f;
+    f.src = h0;
+    f.dst = (i % 2) ? h1 : h2;
+    f.start = i * kSecond / 3;
+    trace.flows.push_back(f);
+  }
+  finalize_trace(trace);
+
+  const graph::WeightedGraph g =
+      build_intensity_graph(trace, t, 0, 10 * kSecond);
+  ASSERT_EQ(g.vertex_count(), 2u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  // 30 flows over 10 seconds between the switch pair = 3 flows/sec.
+  EXPECT_NEAR(g.neighbors(0)[0].weight, 3.0, 1e-9);
+}
+
+TEST(IntensityGraphTest, SameSwitchTrafficExcluded) {
+  topo::Topology t;
+  const SwitchId s0 = t.add_switch();
+  const HostId a = t.add_host(TenantId{0}, s0);
+  const HostId b = t.add_host(TenantId{0}, s0);
+  Trace trace;
+  trace.horizon = kSecond;
+  Flow f;
+  f.src = a;
+  f.dst = b;
+  trace.flows.push_back(f);
+  finalize_trace(trace);
+  const graph::WeightedGraph g = build_intensity_graph(trace, t);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(IntensityGraphTest, WindowFiltersFlows) {
+  topo::Topology t;
+  const SwitchId s0 = t.add_switch();
+  const SwitchId s1 = t.add_switch();
+  const HostId a = t.add_host(TenantId{0}, s0);
+  const HostId b = t.add_host(TenantId{0}, s1);
+  Trace trace;
+  trace.horizon = 10 * kSecond;
+  for (int i = 0; i < 10; ++i) {
+    Flow f;
+    f.src = a;
+    f.dst = b;
+    f.start = i * kSecond;
+    trace.flows.push_back(f);
+  }
+  finalize_trace(trace);
+  // Only flows in [0, 5s): 5 flows over a 5-second window = 1 flow/sec.
+  const graph::WeightedGraph g =
+      build_intensity_graph(trace, t, 0, 5 * kSecond);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_NEAR(g.neighbors(0)[0].weight, 1.0, 1e-9);
+}
+
+// Parameterized sanity over seeds: generators must be deterministic.
+class GeneratorDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameTrace) {
+  auto topo = small_topology(GetParam());
+  RealLikeOptions opt;
+  opt.total_flows = 1000;
+  Rng r1(GetParam()), r2(GetParam());
+  const Trace a = generate_real_like(topo, opt, r1);
+  const Trace b = generate_real_like(topo, opt, r2);
+  ASSERT_EQ(a.flow_count(), b.flow_count());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].src, b.flows[i].src);
+    EXPECT_EQ(a.flows[i].dst, b.flows[i].dst);
+    EXPECT_EQ(a.flows[i].start, b.flows[i].start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminismTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace lazyctrl::workload
+
+namespace lazyctrl::workload {
+namespace {
+
+TEST(TraceUtilTest, SliceSelectsAndRebases) {
+  Trace t;
+  t.horizon = 10 * kSecond;
+  for (int i = 0; i < 10; ++i) {
+    Flow f;
+    f.src = HostId{0};
+    f.dst = HostId{1};
+    f.start = i * kSecond;
+    t.flows.push_back(f);
+  }
+  finalize_trace(t);
+  const Trace s = slice_trace(t, 3 * kSecond, 7 * kSecond);
+  EXPECT_EQ(s.flow_count(), 4u);  // starts 3,4,5,6
+  EXPECT_EQ(s.horizon, 4 * kSecond);
+  EXPECT_EQ(s.flows.front().start, 0);
+  EXPECT_EQ(s.flows.back().start, 3 * kSecond);
+}
+
+TEST(TraceUtilTest, SliceOutsideRangeIsEmpty) {
+  Trace t;
+  t.horizon = kSecond;
+  Flow f;
+  f.src = HostId{0};
+  f.dst = HostId{1};
+  f.start = 0;
+  t.flows.push_back(f);
+  finalize_trace(t);
+  const Trace s = slice_trace(t, 5 * kSecond, 6 * kSecond);
+  EXPECT_EQ(s.flow_count(), 0u);
+  EXPECT_EQ(s.horizon, kSecond);
+}
+
+TEST(TraceUtilTest, ConcatShiftsSecondTrace) {
+  Trace a;
+  a.horizon = 2 * kSecond;
+  Flow f;
+  f.src = HostId{0};
+  f.dst = HostId{1};
+  f.start = kSecond;
+  a.flows.push_back(f);
+  finalize_trace(a);
+
+  Trace b;
+  b.horizon = 3 * kSecond;
+  f.start = kSecond / 2;
+  b.flows.push_back(f);
+  finalize_trace(b);
+
+  const Trace c = concat_traces(a, b);
+  EXPECT_EQ(c.flow_count(), 2u);
+  EXPECT_EQ(c.horizon, 5 * kSecond);
+  EXPECT_EQ(c.flows[0].start, kSecond);
+  EXPECT_EQ(c.flows[1].start, 2 * kSecond + kSecond / 2);
+}
+
+TEST(TraceUtilTest, SliceThenConcatRoundTrips) {
+  Trace t;
+  t.horizon = 4 * kSecond;
+  for (int i = 0; i < 8; ++i) {
+    Flow f;
+    f.src = HostId{0};
+    f.dst = HostId{1};
+    f.start = i * kSecond / 2;
+    f.packets = static_cast<std::uint32_t>(i + 1);
+    t.flows.push_back(f);
+  }
+  finalize_trace(t);
+  const Trace front = slice_trace(t, 0, 2 * kSecond);
+  const Trace back = slice_trace(t, 2 * kSecond, 4 * kSecond);
+  const Trace rejoined = concat_traces(front, back);
+  ASSERT_EQ(rejoined.flow_count(), t.flow_count());
+  for (std::size_t i = 0; i < t.flows.size(); ++i) {
+    EXPECT_EQ(rejoined.flows[i].start, t.flows[i].start);
+    EXPECT_EQ(rejoined.flows[i].packets, t.flows[i].packets);
+  }
+}
+
+}  // namespace
+}  // namespace lazyctrl::workload
