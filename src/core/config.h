@@ -68,6 +68,47 @@ struct GroupingConfig {
   std::size_t host_exclusion_tenant_threshold = 0;
 };
 
+/// Dynamic Group Maintenance (the src/dgm subsystem): keeps switch groups
+/// tracking traffic drift online, without rerunning the full multilevel
+/// partitioner on the hot path.
+enum class DgmMode {
+  kOff,             ///< groups frozen after IniGroup (or legacy IncUpdate)
+  kPeriodic,        ///< regroup attempt every `maintenance_period`
+  kDriftTriggered,  ///< regroup only when the drift detector fires
+};
+
+struct DgmConfig {
+  DgmMode mode = DgmMode::kOff;
+  /// Cadence of maintenance rounds. In kDriftTriggered mode this is how
+  /// often the drift detector is evaluated; regrouping itself only happens
+  /// on a triggered verdict.
+  SimDuration maintenance_period = 5 * kMinute;
+  /// Absolute drift trigger: inter-group fraction of the monitored
+  /// cross-switch intensity above this fires the detector.
+  double inter_fraction_limit = 0.15;
+  /// Relative drift trigger: inter-group fraction above
+  /// `degradation_factor` x the post-last-regroup baseline fires too...
+  double degradation_factor = 1.5;
+  /// ...but only once the fraction also exceeds this floor (keeps noise on
+  /// near-perfect groupings from triggering).
+  double degradation_floor = 0.02;
+  /// Group-size skew trigger: (max - min group size) / group_size_limit
+  /// above this fires. Skewed groups concentrate designated-switch load.
+  double size_skew_limit = 0.75;
+  /// Rounds are skipped while the decayed intensity estimate carries fewer
+  /// flows than this — regrouping on no evidence only churns state.
+  double min_flow_evidence = 200.0;
+  /// Minimum time between applied plans (anti-oscillation).
+  SimDuration cooldown = 2 * kMinute;
+  /// Migration-cost bounds per maintenance round.
+  std::size_t max_moves_per_round = 8;
+  std::size_t max_merges_per_round = 2;
+  std::size_t max_splits_per_round = 2;
+  /// A planned action must improve its local objective by at least this
+  /// fraction to be committed (marginal gains on sampled estimates churn).
+  double min_gain_fraction = 0.02;
+};
+
 struct FibConfig {
   /// Bloom-filter bits per G-FIB entry filter. The paper's sizing example
   /// uses 16 x 128-byte entries = 2048 bytes = 16384 bits per peer filter.
@@ -90,6 +131,7 @@ struct Config {
   LatencyModel latency;
   ControllerConfig controller;
   GroupingConfig grouping;
+  DgmConfig dgm;
   FibConfig fib;
   RuleConfig rules;
   /// Designated switches report aggregated state this often (state link).

@@ -32,6 +32,7 @@
 #include "core/network.h"
 #include "core/report.h"
 #include "core/sgi.h"
+#include "dgm/dgm.h"
 #include "graph/bisection.h"
 #include "graph/components.h"
 #include "graph/min_cut.h"

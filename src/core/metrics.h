@@ -13,7 +13,9 @@ struct RunMetrics {
   explicit RunMetrics(SimDuration horizon)
       : controller_requests(kHour, horizon),
         packet_latency(kHour, horizon),
-        grouping_updates(kHour, horizon) {}
+        grouping_updates(kHour, horizon),
+        flow_arrivals(kHour, horizon),
+        inter_group_arrivals(kHour, horizon) {}
 
   /// One event per controller request (PacketIn / relayed ARP); Fig. 7's
   /// workload series is this series' per-bucket rate.
@@ -22,6 +24,11 @@ struct RunMetrics {
   TimeBucketSeries packet_latency;
   /// One event per grouping update (Fig. 8).
   TimeBucketSeries grouping_updates;
+  /// One event per flow seen / per controller-handled (inter-group) flow;
+  /// their per-bucket ratio is the inter-group traffic fraction over time
+  /// that the DGM drift bench reports.
+  TimeBucketSeries flow_arrivals;
+  TimeBucketSeries inter_group_arrivals;
 
   std::uint64_t flows_seen = 0;
   std::uint64_t packets_accounted = 0;
@@ -38,6 +45,14 @@ struct RunMetrics {
   std::uint64_t grouping_update_count = 0;
   std::uint64_t preload_rules_installed = 0;
   std::uint64_t transition_punts = 0;  ///< flows hit mid-transition w/o preload
+
+  // --- Dynamic Group Maintenance (src/dgm) ---
+  std::uint64_t dgm_rounds = 0;          ///< maintenance rounds evaluated
+  std::uint64_t dgm_plans_applied = 0;   ///< rounds that committed a plan
+  std::uint64_t dgm_switch_moves = 0;    ///< single-switch migrations
+  std::uint64_t dgm_group_merges = 0;
+  std::uint64_t dgm_group_splits = 0;
+  std::uint64_t dgm_flow_mods = 0;  ///< staged rule updates pushed by DGM
 
   /// Mean first-packet (setup) latency, milliseconds.
   RunningStats first_packet_latency_ms;

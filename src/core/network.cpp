@@ -9,16 +9,6 @@
 
 namespace lazyctrl::core {
 
-namespace {
-
-std::uint64_t switch_pair_key(SwitchId a, SwitchId b) {
-  std::uint32_t lo = a.value(), hi = b.value();
-  if (lo > hi) std::swap(lo, hi);
-  return (static_cast<std::uint64_t>(hi) << 32) | lo;
-}
-
-}  // namespace
-
 Network::Network(topo::Topology topology, Config config)
     : topology_(std::move(topology)),
       config_(config),
@@ -33,6 +23,18 @@ Network::Network(topo::Topology topology, Config config)
         info.id, info.underlay_ip, info.management_mac, config_));
   }
   metrics_ = std::make_unique<RunMetrics>(horizon_);
+
+  traffic_monitor_ = std::make_unique<dgm::TrafficMonitor>(
+      topology_.switch_count(),
+      dgm::TrafficMonitorOptions{config_.grouping.stats_window,
+                                 config_.grouping.intensity_ewma_decay,
+                                 1e-3});
+  if (config_.mode == ControlMode::kLazyCtrl &&
+      config_.dgm.mode != DgmMode::kOff) {
+    dgm_ = std::make_unique<dgm::Maintainer>(
+        config_.dgm, config_.grouping.group_size_limit,
+        static_cast<dgm::GroupingHost&>(*this), config_.seed);
+  }
 }
 
 void Network::bootstrap() {
@@ -263,6 +265,7 @@ void Network::account_flow_latency(const workload::Flow& flow,
 
 void Network::on_flow(const workload::Flow& flow) {
   ++metrics_->flows_seen;
+  metrics_->flow_arrivals.add_event(flow.start);
   const topo::HostInfo& src = topology_.host_info(flow.src);
   const topo::HostInfo& dst = topology_.host_info(flow.dst);
   const SwitchId src_sw = src.attached_switch;
@@ -351,6 +354,7 @@ void Network::handle_flow_lazyctrl(const workload::Flow& flow,
     const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
     install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
     ++metrics_->flows_inter_group;
+    metrics_->inter_group_arrivals.add_event(now);
     account_flow_latency(flow, steady + ctrl, steady);
     return;
   }
@@ -389,6 +393,7 @@ void Network::handle_flow_lazyctrl(const workload::Flow& flow,
       const SimDuration ctrl = controller_round_trip(now + report_at);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++metrics_->flows_inter_group;
+      metrics_->inter_group_arrivals.add_event(now);
       account_flow_latency(flow, report_at + ctrl + lat.datapath, steady);
       return;
     }
@@ -398,52 +403,38 @@ void Network::handle_flow_lazyctrl(const workload::Flow& flow,
           controller_round_trip(now + lat.host_link, src_sw);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++metrics_->flows_inter_group;
+      metrics_->inter_group_arrivals.add_event(now);
       account_flow_latency(flow, steady + ctrl, steady);
       return;
     }
   }
 }
 
-graph::WeightedGraph Network::recent_intensity_graph() const {
-  graph::WeightedGraph g(topology_.switch_count());
-  const double window_sec = to_seconds(config_.grouping.stats_window);
-  for (const auto& [key, count] : recent_pair_counts_) {
-    const auto hi = static_cast<graph::VertexId>(key >> 32);
-    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
-    g.add_edge(lo, hi, count / window_sec);
-  }
-  return g;
-}
-
 void Network::roll_stats_window() {
   const SimTime now = simulator_.now();
   controller_.roll_window(now);
 
-  // Drain per-switch traffic counters into the EWMA intensity estimate
+  // Drain per-switch traffic counters into the decayed intensity estimate
   // (state advertisement -> designated -> controller path). The decay
-  // smooths per-window noise so IncUpdate reacts to persistent shifts.
-  const double decay = std::clamp(config_.grouping.intensity_ewma_decay,
-                                  0.0, 0.999);
-  for (auto& [key, value] : recent_pair_counts_) value *= decay;
-  recent_flow_mass_ *= decay;
+  // smooths per-window noise so regrouping reacts to persistent shifts.
   for (const auto& sw : switches_) {
     for (const auto& [peer, count] : sw->take_window_counts()) {
-      recent_pair_counts_[switch_pair_key(sw->id(), peer)] +=
-          static_cast<double>(count);
-      recent_flow_mass_ += static_cast<double>(count);
+      traffic_monitor_->record_flow(sw->id(), peer, count);
     }
   }
-  // Drop negligible residue so the map does not grow unboundedly.
-  std::erase_if(recent_pair_counts_,
-                [](const auto& kv) { return kv.second < 1e-3; });
+  traffic_monitor_->roll_window();
 
   if (config_.mode != ControlMode::kLazyCtrl) return;
-  if (recent_flow_mass_ < config_.grouping.min_update_flow_evidence) return;
+  if (dgm_) return;  // DGM owns regrouping; legacy IncUpdate stands down
+  if (traffic_monitor_->flow_mass() <
+      config_.grouping.min_update_flow_evidence) {
+    return;
+  }
   if (!controller_.should_regroup(now)) return;
 
   Grouping grouping = controller_.grouping();  // copy for in-place update
-  const Sgi::UpdateResult result =
-      sgi_.incremental_update(grouping, recent_intensity_graph(), rng_);
+  const Sgi::UpdateResult result = sgi_.incremental_update(
+      grouping, traffic_monitor_->intensity_graph(), rng_);
   controller_.note_regrouped(now);
   if (result.touched_groups.empty()) return;  // no profitable move
 
@@ -454,6 +445,33 @@ void Network::roll_stats_window() {
                  result.touched_groups);
   ++metrics_->grouping_update_count;
   metrics_->grouping_updates.add_event(now);
+}
+
+void Network::commit_grouping(Grouping grouping,
+                              const std::vector<GroupId>& touched) {
+  // Same staged semantics as a legacy IncUpdate apply: targeted G-FIB
+  // resync, preload + transition windows, failure-wheel rebuild.
+  apply_grouping(std::move(grouping), /*initial=*/false, touched);
+  controller_.note_regrouped(simulator_.now());
+}
+
+bool Network::run_dgm_maintenance() {
+  if (!dgm_ || !bootstrapped_ || controller_.grouping().group_count == 0) {
+    return false;
+  }
+  const dgm::MaintenanceRound round =
+      dgm_->maintenance_round(*traffic_monitor_, simulator_.now());
+  ++metrics_->dgm_rounds;
+  if (!round.plan_applied) return false;
+
+  ++metrics_->dgm_plans_applied;
+  metrics_->dgm_switch_moves += round.moves;
+  metrics_->dgm_group_merges += round.merges;
+  metrics_->dgm_group_splits += round.splits;
+  metrics_->dgm_flow_mods += round.flow_mods;
+  ++metrics_->grouping_update_count;
+  metrics_->grouping_updates.add_event(round.at);
+  return true;
 }
 
 void Network::schedule_migration(HostId host, SwitchId to, SimTime at) {
@@ -517,6 +535,11 @@ void Network::replay(const workload::Trace& trace) {
               controller_.grouping().group_count;
         }
       });
+  sim::EventId dgm_timer = 0;
+  if (dgm_) {
+    dgm_timer = simulator_.schedule_periodic(
+        config_.dgm.maintenance_period, [this] { run_dgm_maintenance(); });
+  }
 
   // Migrations.
   for (const PendingMigration& m : pending_migrations_) {
@@ -542,6 +565,7 @@ void Network::replay(const workload::Trace& trace) {
   simulator_.run_until(trace.horizon);
   simulator_.cancel(window_timer);
   simulator_.cancel(report_timer);
+  if (dgm_timer != 0) simulator_.cancel(dgm_timer);
 }
 
 HostId Network::add_silent_host(TenantId tenant, SwitchId sw) {

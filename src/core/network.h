@@ -27,6 +27,8 @@
 #include "core/failover.h"
 #include "core/metrics.h"
 #include "core/sgi.h"
+#include "dgm/maintainer.h"
+#include "dgm/traffic_monitor.h"
 #include "graph/weighted_graph.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
@@ -34,7 +36,7 @@
 
 namespace lazyctrl::core {
 
-class Network {
+class Network : private dgm::GroupingHost {
  public:
   /// Takes a copy of the topology (migrations mutate it) and the run config.
   Network(topo::Topology topology, Config config);
@@ -90,6 +92,20 @@ class Network {
   /// Total G-FIB storage across all switches, in bytes.
   [[nodiscard]] std::size_t total_gfib_bytes() const;
 
+  // --- dynamic group maintenance (active when config.dgm.mode != kOff) ---
+  /// Runs one DGM maintenance round now. Normally driven by the periodic
+  /// event `replay` schedules; exposed so tests and benches can step it.
+  /// Returns true when a migration plan was applied.
+  bool run_dgm_maintenance();
+  /// Round-by-round DGM statistics, or nullptr when DGM is disabled.
+  [[nodiscard]] const dgm::MaintainerStats* dgm_stats() const noexcept {
+    return dgm_ ? &dgm_->stats() : nullptr;
+  }
+  /// The decayed traffic estimate driving regrouping decisions.
+  [[nodiscard]] const dgm::TrafficMonitor& traffic_monitor() const noexcept {
+    return *traffic_monitor_;
+  }
+
   // --- failover (active when config.failover_enabled) ---
   /// The failure-detection wheel of the group `sw` belongs to, or nullptr
   /// when failover is disabled / the switch is ungrouped.
@@ -135,7 +151,13 @@ class Network {
   void rebuild_failure_wheels();
   void perform_migration(HostId host, SwitchId to);
   void roll_stats_window();
-  graph::WeightedGraph recent_intensity_graph() const;
+
+  // dgm::GroupingHost (the seam the MigrationExecutor commits through).
+  [[nodiscard]] const Grouping& current_grouping() const override {
+    return controller_.grouping();
+  }
+  void commit_grouping(Grouping grouping,
+                       const std::vector<GroupId>& touched) override;
 
   topo::Topology topology_;
   Config config_;
@@ -150,10 +172,12 @@ class Network {
   /// controller-handled.
   std::unordered_set<std::uint32_t> excluded_hosts_;
 
-  /// EWMA of switch-pair new-flow counts over recent stats windows.
-  std::unordered_map<std::uint64_t, double> recent_pair_counts_;
-  /// EWMA of total flows represented in recent_pair_counts_.
-  double recent_flow_mass_ = 0.0;
+  /// Decayed switch-pair intensity estimate (drained from the per-switch
+  /// state-advertisement counters each stats window). Feeds both the legacy
+  /// IncUpdate trigger and the DGM maintainer.
+  std::unique_ptr<dgm::TrafficMonitor> traffic_monitor_;
+  /// The DGM control loop (null unless config.dgm.mode != kOff).
+  std::unique_ptr<dgm::Maintainer> dgm_;
 
   struct PendingMigration {
     HostId host;

@@ -1,0 +1,64 @@
+#include "dgm/migration_executor.h"
+
+#include <vector>
+
+namespace lazyctrl::dgm {
+
+ExecutionReport MigrationExecutor::apply(const MigrationPlan& plan) {
+  ExecutionReport report;
+  if (plan.empty() || plan.touched.empty()) {
+    report.reject_reason = "empty plan";
+    return report;
+  }
+
+  const core::Grouping& live = host_->current_grouping();
+  if (live.switch_to_group != plan.before.switch_to_group) {
+    report.reject_reason = "stale plan: grouping changed since planning";
+    return report;
+  }
+
+  // Every switch assigned to a valid group, and group sizes within the
+  // plan's limit.
+  const core::Grouping& after = plan.after;
+  if (after.switch_to_group.size() != live.switch_to_group.size() ||
+      after.group_count == 0) {
+    report.reject_reason = "plan leaves switches unassigned";
+    return report;
+  }
+  std::vector<std::size_t> sizes(after.group_count, 0);
+  for (std::uint32_t g : after.switch_to_group) {
+    if (g >= after.group_count) {
+      report.reject_reason = "plan references an out-of-range group";
+      return report;
+    }
+    ++sizes[g];
+  }
+  if (plan.group_size_limit > 0) {
+    for (std::size_t s : sizes) {
+      if (s > plan.group_size_limit) {
+        report.reject_reason = "plan violates the group size limit";
+        return report;
+      }
+    }
+  }
+  for (GroupId t : plan.touched) {
+    if (!t.valid() || t.value() >= after.group_count) {
+      report.reject_reason = "plan touches an out-of-range group";
+      return report;
+    }
+  }
+
+  // Staged-cost accounting before the commit mutates anything.
+  for (GroupId t : plan.touched) {
+    const std::size_t members = sizes[t.value()];
+    report.gfib_rebuilds += members;
+    report.flow_mods += 2 * members + 1;  // preload + G-FIB sync, SGI rewrite
+  }
+  report.touched_groups = plan.touched.size();
+
+  host_->commit_grouping(plan.after, plan.touched);
+  report.applied = true;
+  return report;
+}
+
+}  // namespace lazyctrl::dgm

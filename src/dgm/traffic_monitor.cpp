@@ -1,0 +1,79 @@
+#include "dgm/traffic_monitor.h"
+
+#include <algorithm>
+
+namespace lazyctrl::dgm {
+
+namespace {
+
+std::uint64_t pair_key(SwitchId a, SwitchId b) {
+  std::uint32_t lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+TrafficMonitor::TrafficMonitor(std::size_t switch_count,
+                               TrafficMonitorOptions options)
+    : switch_count_(switch_count), options_(options) {
+  options_.ewma_decay = std::clamp(options_.ewma_decay, 0.0, 0.999);
+}
+
+void TrafficMonitor::record_flow(SwitchId src, SwitchId dst,
+                                 std::uint64_t count) {
+  if (src == dst || count == 0) return;
+  window_[pair_key(src, dst)] += count;
+}
+
+void TrafficMonitor::roll_window() {
+  const double decay = options_.ewma_decay;
+  for (auto& [key, value] : ewma_) value *= decay;
+  flow_mass_ *= decay;
+  for (const auto& [key, count] : window_) {
+    ewma_[key] += static_cast<double>(count);
+    flow_mass_ += static_cast<double>(count);
+  }
+  window_.clear();
+  std::erase_if(ewma_, [this](const auto& kv) {
+    return kv.second < options_.prune_threshold;
+  });
+}
+
+graph::WeightedGraph TrafficMonitor::intensity_graph() const {
+  graph::WeightedGraph g(switch_count_);
+  const double window_sec = to_seconds(options_.window);
+  for (const auto& [key, count] : ewma_) {
+    const auto hi = static_cast<graph::VertexId>(key >> 32);
+    const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
+    g.add_edge(lo, hi, count / window_sec);
+  }
+  return g;
+}
+
+TrafficMonitor::TrafficSplit TrafficMonitor::split(
+    const core::Grouping& grouping) const {
+  TrafficSplit s;
+  for (const auto& [key, count] : ewma_) {
+    const auto hi = static_cast<std::uint32_t>(key >> 32);
+    const auto lo = static_cast<std::uint32_t>(key & 0xFFFFFFFF);
+    if (hi >= grouping.switch_to_group.size() ||
+        lo >= grouping.switch_to_group.size()) {
+      continue;
+    }
+    if (grouping.switch_to_group[lo] == grouping.switch_to_group[hi]) {
+      s.intra += count;
+    } else {
+      s.inter += count;
+    }
+  }
+  return s;
+}
+
+void TrafficMonitor::reset() {
+  ewma_.clear();
+  window_.clear();
+  flow_mass_ = 0.0;
+}
+
+}  // namespace lazyctrl::dgm

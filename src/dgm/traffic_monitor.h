@@ -1,0 +1,90 @@
+// TrafficMonitor: decayed inter-switch traffic-matrix estimation.
+//
+// The first stage of the Dynamic Group Maintenance (DGM) pipeline. Switches
+// report per-peer new-flow counts once per stats window (the paper's state
+// advertisement path, §III-B3); the monitor folds each closed window into a
+// sliding-window EWMA per unordered switch pair. Recording is O(1) per
+// flow/packet-in; the decayed estimate is materialised on demand as the
+// live intensity graph the regrouper plans against, and split into
+// intra-/inter-group mass for the drift detector.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "core/sgi.h"
+#include "graph/weighted_graph.h"
+
+namespace lazyctrl::dgm {
+
+struct TrafficMonitorOptions {
+  /// Width of one accumulation window (matches the stats window driving
+  /// `roll_window` calls); converts counts to flows/sec intensities.
+  SimDuration window = 1 * kMinute;
+  /// Per-window EWMA decay: each closed window contributes (1 - decay) of
+  /// the estimate, so the effective horizon is window / (1 - decay).
+  double ewma_decay = 0.85;
+  /// Decayed pair estimates below this are dropped so the matrix stays
+  /// sparse under churny workloads.
+  double prune_threshold = 1e-3;
+};
+
+class TrafficMonitor {
+ public:
+  TrafficMonitor(std::size_t switch_count, TrafficMonitorOptions options);
+
+  /// Accumulates `count` new flows between two distinct switches into the
+  /// current window. O(1); same-switch traffic is ignored (it never leaves
+  /// the edge and cannot affect grouping).
+  void record_flow(SwitchId src, SwitchId dst, std::uint64_t count = 1);
+
+  /// Closes the current window: decays the EWMA estimate, folds the window
+  /// counters in, and prunes negligible residue.
+  void roll_window();
+
+  /// Decayed total flow count represented in the estimate (the evidence
+  /// mass drift decisions are gated on).
+  [[nodiscard]] double flow_mass() const noexcept { return flow_mass_; }
+  [[nodiscard]] std::size_t tracked_pairs() const noexcept {
+    return ewma_.size();
+  }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switch_count_;
+  }
+  [[nodiscard]] const TrafficMonitorOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The live intensity graph: vertices are switches, edge weights are
+  /// decayed flows/sec between them. Ready for the regrouper/partitioner.
+  [[nodiscard]] graph::WeightedGraph intensity_graph() const;
+
+  /// Decayed cross-switch traffic mass split by a grouping.
+  struct TrafficSplit {
+    double intra = 0;  ///< both endpoints in the same group
+    double inter = 0;  ///< endpoints in different groups
+    [[nodiscard]] double total() const noexcept { return intra + inter; }
+    /// Inter-group fraction of cross-switch traffic (0 when no traffic).
+    [[nodiscard]] double inter_fraction() const noexcept {
+      const double t = total();
+      return t > 0 ? inter / t : 0.0;
+    }
+  };
+  [[nodiscard]] TrafficSplit split(const core::Grouping& grouping) const;
+
+  /// Drops all state (estimate and pending window).
+  void reset();
+
+ private:
+  std::size_t switch_count_;
+  TrafficMonitorOptions options_;
+  /// Unordered-pair key -> decayed flow-count estimate.
+  std::unordered_map<std::uint64_t, double> ewma_;
+  /// Unordered-pair key -> current-window flow count.
+  std::unordered_map<std::uint64_t, std::uint64_t> window_;
+  double flow_mass_ = 0.0;
+};
+
+}  // namespace lazyctrl::dgm

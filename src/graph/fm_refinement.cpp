@@ -157,6 +157,45 @@ Weight refine_partition(const WeightedGraph& g, Partition& p,
   return total_gain;
 }
 
+std::vector<BoundedMove> plan_bounded_moves(const WeightedGraph& g,
+                                            Partition& p,
+                                            const PartitionConstraints& c,
+                                            std::size_t max_moves,
+                                            Weight min_gain) {
+  std::vector<BoundedMove> moves;
+  const std::size_t n = g.vertex_count();
+  if (n == 0 || p.part_count <= 1) return moves;
+
+  std::vector<Weight> weights = part_weights(g, p);
+  while (moves.size() < max_moves) {
+    BoundedMove best;
+    best.gain = min_gain;
+    for (VertexId v = 0; v < n; ++v) {
+      const PartId from = p.assignment[v];
+      const auto conn = part_connectivity(g, p, v);
+      Weight internal = 0;
+      if (auto it = conn.find(from); it != conn.end()) internal = it->second;
+      const Weight vw = g.vertex_weight(v);
+      for (const auto& [part, w] : conn) {
+        if (part == from) continue;
+        if (weights[part] + vw > c.max_part_weight) continue;
+        const Weight gain = w - internal;
+        if (gain > best.gain + 1e-12) {
+          best = {v, from, part, gain};
+        }
+      }
+    }
+    if (best.to == kUnassigned) break;  // no admissible positive move left
+
+    const Weight vw = g.vertex_weight(best.vertex);
+    weights[best.from] -= vw;
+    weights[best.to] += vw;
+    p.assignment[best.vertex] = best.to;
+    moves.push_back(best);
+  }
+  return moves;
+}
+
 bool repair_overweight(const WeightedGraph& g, Partition& p,
                        const PartitionConstraints& c, Rng& rng) {
   std::vector<Weight> weights = part_weights(g, p);

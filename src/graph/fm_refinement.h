@@ -28,6 +28,25 @@ Weight refine_partition(const WeightedGraph& g, Partition& p,
                         const PartitionConstraints& c, const RefineOptions& o,
                         Rng& rng);
 
+/// One planned boundary move (FM gain = external - internal connectivity).
+struct BoundedMove {
+  VertexId vertex = 0;
+  PartId from = kUnassigned;
+  PartId to = kUnassigned;
+  Weight gain = 0;
+};
+
+/// Plans and applies at most `max_moves` positive-gain boundary moves on
+/// `p`, each the globally best admissible move at its step (size constraint
+/// respected, gain > `min_gain`). Deterministic — no rng, ties broken by
+/// lowest vertex id — so callers can budget migration cost per invocation.
+/// Returns the moves in application order.
+std::vector<BoundedMove> plan_bounded_moves(const WeightedGraph& g,
+                                            Partition& p,
+                                            const PartitionConstraints& c,
+                                            std::size_t max_moves,
+                                            Weight min_gain = 0);
+
 /// Moves vertices out of overweight parts until every part satisfies the
 /// size constraint, creating new parts when nothing else has room (the
 /// grouping problem allows a variable number of groups, §III-C1). Returns

@@ -49,6 +49,7 @@ MinCutResult stoer_wagner_min_cut(const WeightedGraph& g) {
           pick = x;
         }
       }
+      if (pick == static_cast<VertexId>(-1)) break;  // unreachable; quiets GCC
       in_a[pick] = 1;
       prev = last;
       last = pick;

@@ -249,6 +249,107 @@ Trace generate_synthetic(const Topology& topology,
   return trace;
 }
 
+Trace generate_drifting_locality(const Topology& topology,
+                                 const DriftingLocalityOptions& options,
+                                 Rng& rng) {
+  assert(topology.host_count() >= 2);
+  Trace trace;
+  trace.horizon = options.horizon;
+
+  // Only switches with attached hosts can source or sink flows.
+  std::vector<SwitchId> populated;
+  for (const topo::SwitchInfo& sw : topology.switches()) {
+    if (!topology.hosts_on_switch(sw.id).empty()) populated.push_back(sw.id);
+  }
+  const std::size_t communities =
+      std::max<std::size_t>(1, std::min(options.community_count,
+                                        populated.size()));
+  if (populated.size() < 2 || options.phases == 0 ||
+      options.total_flows == 0) {
+    return trace;
+  }
+
+  // Initial communities: balanced round-robin over a shuffled switch list.
+  rng.shuffle(populated);
+  std::vector<std::vector<SwitchId>> members(communities);
+  std::vector<std::size_t> community_of(topology.switch_count(), 0);
+  for (std::size_t i = 0; i < populated.size(); ++i) {
+    members[i % communities].push_back(populated[i]);
+    community_of[populated[i].value()] = i % communities;
+  }
+
+  const auto random_host_on = [&](SwitchId sw) {
+    const auto& hosts = topology.hosts_on_switch(sw);
+    return hosts[rng.next_below(hosts.size())];
+  };
+
+  const SimDuration phase_len =
+      options.horizon / static_cast<SimDuration>(options.phases);
+  const std::size_t flows_per_phase = options.total_flows / options.phases;
+  trace.flows.reserve(options.total_flows);
+
+  for (std::size_t phase = 0; phase < options.phases; ++phase) {
+    const SimTime phase_start =
+        static_cast<SimTime>(phase) * phase_len;
+    for (std::size_t i = 0; i < flows_per_phase; ++i) {
+      HostId src, dst;
+      SwitchId src_sw, dst_sw;
+      const bool intra = rng.next_bool(options.intra_community_share);
+      if (intra) {
+        // Pick a community with >= 2 switches, then two distinct switches.
+        std::size_t c = rng.next_below(communities);
+        for (std::size_t tries = 0;
+             members[c].size() < 2 && tries < communities; ++tries) {
+          c = (c + 1) % communities;
+        }
+        if (members[c].size() < 2) continue;  // degenerate community layout
+        const std::size_t a = rng.next_below(members[c].size());
+        std::size_t b = rng.next_below(members[c].size() - 1);
+        if (b >= a) ++b;
+        src_sw = members[c][a];
+        dst_sw = members[c][b];
+      } else {
+        // Background: any two distinct populated switches.
+        const std::size_t a = rng.next_below(populated.size());
+        std::size_t b = rng.next_below(populated.size() - 1);
+        if (b >= a) ++b;
+        src_sw = populated[a];
+        dst_sw = populated[b];
+      }
+      src = random_host_on(src_sw);
+      dst = random_host_on(dst_sw);
+
+      Flow f;
+      f.src = src;
+      f.dst = dst;
+      f.start = phase_start + static_cast<SimTime>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      std::max<SimDuration>(phase_len, 1))));
+      sample_shape(options.shape, rng, f);
+      trace.flows.push_back(f);
+    }
+
+    // Phase boundary: re-home a fraction of switches to other communities.
+    if (phase + 1 == options.phases || communities < 2) continue;
+    const auto drifters = static_cast<std::size_t>(
+        options.drift_fraction * static_cast<double>(populated.size()));
+    for (std::size_t d = 0; d < drifters; ++d) {
+      const SwitchId sw = populated[rng.next_below(populated.size())];
+      const std::size_t from = community_of[sw.value()];
+      std::size_t to = rng.next_below(communities - 1);
+      if (to >= from) ++to;
+      auto& old_members = members[from];
+      if (old_members.size() <= 2) continue;  // keep communities non-trivial
+      old_members.erase(
+          std::find(old_members.begin(), old_members.end(), sw));
+      members[to].push_back(sw);
+      community_of[sw.value()] = to;
+    }
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
 Trace expand_trace(const Trace& base, const Topology& topology,
                    double extra_fraction, SimTime from, SimTime to, Rng& rng,
                    double flows_per_new_pair) {

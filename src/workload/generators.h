@@ -98,6 +98,33 @@ struct SyntheticOptions {
 Trace generate_synthetic(const topo::Topology& topology,
                          const SyntheticOptions& options, Rng& rng);
 
+/// Drifting-locality workload: the stress test for Dynamic Group
+/// Maintenance (src/dgm). Edge switches are assigned to traffic
+/// *communities*; most flows stay inside one community, so a grouping that
+/// mirrors the communities is near-optimal. The day is split into phases;
+/// at every phase boundary a fraction of switches re-home to a different
+/// community, shifting the locality structure under a frozen grouping's
+/// feet while an online regrouper can keep tracking it.
+struct DriftingLocalityOptions {
+  std::size_t total_flows = 200'000;
+  /// Number of switch communities. Pick close to switch_count /
+  /// group_size_limit so one group can absorb one community.
+  std::size_t community_count = 6;
+  /// Fraction of flows drawn between two switches of the same community
+  /// (the locality a good grouping converts into intra-group traffic).
+  double intra_community_share = 0.85;
+  /// Number of equal-length locality phases over the horizon.
+  std::size_t phases = 8;
+  /// Fraction of switches re-homed to a new community at each boundary.
+  double drift_fraction = 0.25;
+  SimDuration horizon = 24 * kHour;
+  FlowShape shape;
+};
+
+Trace generate_drifting_locality(const topo::Topology& topology,
+                                 const DriftingLocalityOptions& options,
+                                 Rng& rng);
+
 /// Returns a copy of `base` with `extra_fraction` (e.g. 0.30) additional
 /// flows among host pairs that never communicated in `base`, with start
 /// times uniform over [from, to), matching the paper's expanded-trace

@@ -159,10 +159,10 @@ TEST(FlowTableStatsTest, MatchCountersIncrement) {
   t.install(rule_for_dst(3));
   net::Packet p2 = packet(1, 2);
   net::Packet p3 = packet(1, 3);
-  t.lookup(p2, 0);
-  t.lookup(p2, 0);
-  t.lookup(p3, 0);
-  t.lookup(packet(1, 9), 0);  // miss: no counter moves
+  (void)t.lookup(p2, 0);
+  (void)t.lookup(p2, 0);
+  (void)t.lookup(p3, 0);
+  (void)t.lookup(packet(1, 9), 0);  // miss: no counter moves
   EXPECT_EQ(t.total_matches(), 3u);
   // Per-rule counters via the snapshot.
   for (const FlowRule& r : t.rules()) {
@@ -178,7 +178,7 @@ TEST(FlowTableStatsTest, ReplaceResetsCounter) {
   FlowTable t;
   t.install(rule_for_dst(2));
   net::Packet p = packet(1, 2);
-  t.lookup(p, 0);
+  (void)t.lookup(p, 0);
   t.install(rule_for_dst(2));  // same match+priority -> replaced
   EXPECT_EQ(t.total_matches(), 0u);
 }
