@@ -8,6 +8,7 @@
 #include "bench_common.h"
 #include "core/network.h"
 #include "core/sgi.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -33,13 +34,7 @@ RunResult run(const topo::Topology& topo, const workload::Trace& trace,
           m.first_packet_latency_ms.mean()};
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "Appendix B ablations — preload, host exclusion, parallel IncUpdate",
-      "design-choice ablations called out in DESIGN.md");
-
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace real = benchx::real_trace(topo);
   Rng exp_rng(404);
@@ -77,6 +72,12 @@ int main() {
                 without.mean_first_packet_ms);
     std::printf("preload absorbs the transition punts that otherwise hit "
                 "the controller during every update.\n");
+    report.controller_load("packet_ins_preload_on",
+                           static_cast<double>(with_preload.packet_ins));
+    report.controller_load("packet_ins_preload_off",
+                           static_cast<double>(without.packet_ins));
+    report.metric("transition_punts_preload_off",
+                  static_cast<double>(without.transition_punts), "punts");
   }
 
   // (b) Host exclusion on/off.
@@ -102,6 +103,10 @@ int main() {
     std::printf("exclusion trades extra controller load for cleaner "
                 "groups; at this locality level the trade is visible as a "
                 "packet-in increase.\n");
+    report.controller_load("packet_ins_exclusion_off",
+                           static_cast<double>(off.packet_ins));
+    report.controller_load("packet_ins_exclusion_on",
+                           static_cast<double>(on.packet_ins));
   }
 
   // (c) Sequential vs parallel IncUpdate on a controlled drift: four
@@ -170,6 +175,20 @@ int main() {
     std::printf("the parallel variant reaches the same Winter in fewer "
                 "rounds; with per-pair threads the wall-clock would shrink "
                 "accordingly (appendix B).\n");
+    report.metric("incupdate_sequential_ms", seq_ms, "ms");
+    report.metric("incupdate_parallel_ms", par_ms, "ms");
+    report.metric("winter_after_sequential", rs.inter_group_after,
+                  "fraction");
+    report.metric("winter_after_parallel", rp.inter_group_after, "fraction");
   }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "ablation_optimizations",
+      "Appendix B ablations — preload, host exclusion, parallel IncUpdate",
+      "design-choice ablations called out in DESIGN.md", {}, body);
 }

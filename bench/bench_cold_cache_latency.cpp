@@ -10,15 +10,14 @@
 #include "bench_common.h"
 #include "common/stats.h"
 #include "core/network.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
 
-int main() {
-  benchx::print_header(
-      "§V-E — Cold-cache forwarding latency (45 fresh flows, 5 new hosts)",
-      "LazyCtrl intra 0.83 ms, inter 5.38 ms, OpenFlow 15.06 ms");
+namespace {
 
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace trace = benchx::real_trace(topo);
   const auto history = workload::build_intensity_graph(trace, topo, 0, kHour);
@@ -116,5 +115,19 @@ int main() {
   std::printf("OpenFlow / intra-group ratio: %.1fx (paper: ~18x; >10x = "
               "order-of-magnitude claim)\n",
               of_ms.mean() / intra_ms.mean());
+  report.latency_ms("cold_cache_intra_group_ms", intra_ms.mean());
+  report.latency_ms("cold_cache_inter_group_ms", inter_ms.mean());
+  report.latency_ms("cold_cache_openflow_ms", of_ms.mean());
+  report.metric("openflow_over_intra_ratio",
+                of_ms.mean() / intra_ms.mean(), "x");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "cold_cache_latency",
+      "§V-E — Cold-cache forwarding latency (45 fresh flows, 5 new hosts)",
+      "LazyCtrl intra 0.83 ms, inter 5.38 ms, OpenFlow 15.06 ms", {}, body);
 }

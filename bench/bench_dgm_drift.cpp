@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "core/network.h"
 #include "dgm/dgm.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -71,13 +72,7 @@ Series run(const topo::Topology& topo, const workload::Trace& trace,
   return s;
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "DGM — inter-group traffic under drifting locality",
-      "static IniGroup-only grouping vs online Dynamic Group Maintenance");
-
+int body(benchx::BenchReport& report) {
   Rng topo_rng(501);
   topo::MultiTenantOptions topt;
   topt.switch_count = 96;
@@ -167,13 +162,21 @@ int main() {
   const double static_frac =
       static_cast<double>(all[0].flows_inter) /
       static_cast<double>(std::max<std::uint64_t>(all[0].flows_seen, 1));
+  const char* keys[] = {"static", "legacy_incupdate", "dgm_periodic",
+                        "dgm_drift_triggered"};
   bool ok = true;
-  for (std::size_t i = 2; i < all.size(); ++i) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
     const double frac =
         static_cast<double>(all[i].flows_inter) /
         static_cast<double>(std::max<std::uint64_t>(all[i].flows_seen, 1));
-    if (frac >= static_frac) ok = false;
+    if (i >= 2 && frac >= static_frac) ok = false;
+    report.metric(std::string("inter_group_fraction_") + keys[i], frac,
+                  "fraction");
+    report.controller_load(std::string("packet_ins_") + keys[i],
+                           static_cast<double>(all[i].packet_ins));
   }
+  report.metric("dgm_flow_mods",
+                static_cast<double>(all.back().dgm_flow_mods), "flow_mods");
   std::printf("\n%s: DGM inter-group fraction %s static baseline (%.4f)\n",
               ok ? "PASS" : "FAIL", ok ? "below" : "NOT below", static_frac);
   if (!ok && all.back().dgm_plans == 0) {
@@ -183,4 +186,13 @@ int main() {
                 "larger LAZYCTRL_BENCH_SCALE.\n");
   }
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "dgm_drift", "DGM — inter-group traffic under drifting locality",
+      "static IniGroup-only grouping vs online Dynamic Group Maintenance",
+      {}, body);
 }

@@ -10,16 +10,14 @@
 #include "bench_common.h"
 #include "core/sgi.h"
 #include "graph/multilevel_partitioner.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
 
-int main() {
-  benchx::print_header(
-      "Fig. 6(a) — Normalized inter-group traffic intensity vs #groups",
-      "Winter grows ~linearly in #groups; higher-centrality traces stay "
-      "lower (Syn-A < Syn-B < Syn-C)");
+namespace {
 
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::synthetic_topology();
   const std::size_t n = topo.switch_count();
   std::printf("topology: %zu switches, %zu hosts\n\n", n, topo.host_count());
@@ -57,12 +55,26 @@ int main() {
       core::Grouping g;
       g.switch_to_group = p.assignment;
       g.group_count = p.part_count;
-      std::printf("%7.1f%%",
-                  100.0 * core::inter_group_intensity(intensity, g));
+      const double winter = core::inter_group_intensity(intensity, g);
+      std::printf("%7.1f%%", 100.0 * winter);
+      report.metric("winter_" + benchx::slugify(c.name) + "_groups" +
+                        std::to_string(k),
+                    winter, "fraction");
     }
     std::printf("\n");
   }
   std::printf("\nPaper: ~5%%-50%% rising near-linearly; ordering "
               "Syn-A < Syn-B < Syn-C at every group count.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "fig6a_grouping_quality",
+      "Fig. 6(a) — Normalized inter-group traffic intensity vs #groups",
+      "Winter grows ~linearly in #groups; higher-centrality traces stay "
+      "lower (Syn-A < Syn-B < Syn-C)",
+      {}, body);
 }

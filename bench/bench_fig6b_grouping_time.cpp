@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/sgi.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -21,14 +22,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "Fig. 6(b) — Switch grouping computation time vs group size limit",
-      "IniGroup < 5 s, inversely related to the limit; IncUpdate >= 10x "
-      "faster than IniGroup");
-
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::synthetic_topology();
   std::printf("topology: %zu switches, %zu hosts\n\n", topo.switch_count(),
               topo.host_count());
@@ -62,7 +56,11 @@ int main() {
       const auto t0 = std::chrono::steady_clock::now();
       const core::Grouping g = sgi.initial_grouping(c.intensity, rng);
       const double dt = seconds_since(t0);
-      if (limit == 200) inigroup_at_200 = dt;
+      if (limit == 200) {
+        inigroup_at_200 = dt;
+        report.metric("inigroup_seconds_" + std::string(c.name) + "_limit200",
+                      dt, "s");
+      }
       std::printf("%8.3fs", dt);
       (void)g;
     }
@@ -82,8 +80,22 @@ int main() {
                 "%.3fs -> %.1fx faster (paper: >10x)\n",
                 inc, inigroup_at_200,
                 inc > 0 ? inigroup_at_200 / inc : 0.0);
+    report.metric("incupdate_seconds_limit200", inc, "s");
+    report.metric("incupdate_speedup_vs_inigroup",
+                  inc > 0 ? inigroup_at_200 / inc : 0.0, "x");
   }
   std::printf("Paper: all IniGroup times < 5 s, decreasing as the limit "
               "grows.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "fig6b_grouping_time",
+      "Fig. 6(b) — Switch grouping computation time vs group size limit",
+      "IniGroup < 5 s, inversely related to the limit; IncUpdate >= 10x "
+      "faster than IniGroup",
+      {}, body);
 }

@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/network.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -45,14 +46,7 @@ Series run(const topo::Topology& topo, const workload::Trace& trace,
   return s;
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "Fig. 7 — Controller workload (requests/s per 2-hour bucket)",
-      "OpenFlow vs LazyCtrl {real,expanded} x {static,dynamic}; 61-82% "
-      "workload reduction");
-
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace real = benchx::real_trace(topo);
   // The +30% extra flows recur among a fixed set of new host pairs (heavy
@@ -89,13 +83,33 @@ int main() {
   }
 
   const double base = static_cast<double>(all[0].packet_ins);
+  const char* keys[] = {"openflow", "lazyctrl_real_static",
+                        "lazyctrl_real_dynamic", "lazyctrl_expanded_static",
+                        "lazyctrl_expanded_dynamic"};
+  report.controller_load("packet_ins_openflow", base);
   std::printf("\nWorkload reduction vs OpenFlow (paper: 61%%-82%%):\n");
   for (std::size_t i = 1; i < all.size(); ++i) {
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(all[i].packet_ins) / base);
     std::printf("  %-28s %5.1f%%  (%llu vs %llu requests)\n",
-                all[i].name.c_str(),
-                100.0 * (1.0 - static_cast<double>(all[i].packet_ins) / base),
+                all[i].name.c_str(), reduction,
                 static_cast<unsigned long long>(all[i].packet_ins),
                 static_cast<unsigned long long>(all[0].packet_ins));
+    report.controller_load(std::string("packet_ins_") + keys[i],
+                           static_cast<double>(all[i].packet_ins));
+    report.metric(std::string("workload_reduction_pct_") + keys[i], reduction,
+                  "percent");
   }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "fig7_controller_workload",
+      "Fig. 7 — Controller workload (requests/s per 2-hour bucket)",
+      "OpenFlow vs LazyCtrl {real,expanded} x {static,dynamic}; 61-82% "
+      "workload reduction",
+      {}, body);
 }

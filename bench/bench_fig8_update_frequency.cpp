@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "core/network.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -32,12 +33,7 @@ std::vector<double> run_updates(const topo::Topology& topo,
   return per_hour;
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header("Fig. 8 — Switch grouping updates per hour",
-                       "Real: <= ~10 updates/h; expanded: up to ~34/h");
-
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace real = benchx::real_trace(topo);
   Rng exp_rng(404);
@@ -72,5 +68,15 @@ int main() {
               real_max, exp_max);
   std::printf("Expanded >= real in the stressed hours confirms the paper's "
               "shape.\n");
+  report.metric("max_updates_per_hour_real", real_max, "updates/h");
+  report.metric("max_updates_per_hour_expanded", exp_max, "updates/h");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "fig8_update_frequency", "Fig. 8 — Switch grouping updates per hour",
+      "Real: <= ~10 updates/h; expanded: up to ~34/h", {}, body);
 }

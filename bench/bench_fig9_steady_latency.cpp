@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "core/network.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
@@ -39,13 +40,7 @@ std::vector<double> run_latency(const topo::Topology& topo,
   return buckets;
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "Fig. 9 — Steady-state average forwarding latency (ms per packet)",
-      "LazyCtrl ~10% below standard OpenFlow across the day");
-
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace real = benchx::real_trace(topo);
 
@@ -69,5 +64,18 @@ int main() {
   std::printf("note: absolute values depend on the simulator's latency "
               "constants (config.h LatencyModel); the LazyCtrl-below-"
               "OpenFlow shape is the reproduced result.\n");
+  report.latency_ms("packet_latency_mean_ms_openflow", of_ms);
+  report.latency_ms("packet_latency_mean_ms_lazyctrl", lc_ms);
+  report.metric("latency_reduction_pct", 100.0 * (1.0 - lc_ms / of_ms),
+                "percent");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "fig9_steady_latency",
+      "Fig. 9 — Steady-state average forwarding latency (ms per packet)",
+      "LazyCtrl ~10% below standard OpenFlow across the day", {}, body);
 }

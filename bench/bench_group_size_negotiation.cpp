@@ -8,16 +8,14 @@
 #include "bench_common.h"
 #include "core/negotiation.h"
 #include "core/sgi.h"
+#include "harness.h"
 #include "workload/intensity.h"
 
 using namespace lazyctrl;
 
-int main() {
-  benchx::print_header(
-      "Appendix C — Rubinstein-bargained dynamic group size",
-      "negotiated limit balances controller laziness (big groups) against "
-      "switch memory (small groups)");
+namespace {
 
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace trace = benchx::real_trace(topo);
   const auto intensity = workload::build_intensity_graph(trace, topo);
@@ -62,6 +60,12 @@ int main() {
     const double winter = core::inter_group_intensity(intensity, g);
     std::printf("%-34s %10zu %11.2f%% %16zu\n", c.name, limit,
                 100.0 * winter, (limit - 1) * kBloomBytesPerPeer);
+    const std::string slug = benchx::slugify(c.name);
+    report.metric("negotiated_limit_" + slug, static_cast<double>(limit),
+                  "switches");
+    report.metric("winter_" + slug, winter, "fraction");
+    report.memory_bytes("gfib_bytes_per_switch_" + slug,
+                        static_cast<double>((limit - 1) * kBloomBytesPerPeer));
   }
 
   std::printf("\nLarger negotiated limits -> lower Winter (lazier "
@@ -69,4 +73,15 @@ int main() {
               "point moves with each side's patience and the switches' "
               "memory budget.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "group_size_negotiation",
+      "Appendix C — Rubinstein-bargained dynamic group size",
+      "negotiated limit balances controller laziness (big groups) against "
+      "switch memory (small groups)",
+      {}, body);
 }

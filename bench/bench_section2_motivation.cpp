@@ -8,17 +8,15 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "harness.h"
 #include "workload/analyzer.h"
 #include "workload/stats.h"
 
 using namespace lazyctrl;
 
-int main() {
-  benchx::print_header(
-      "§II-A — traffic locality measurements on the (stand-in) real trace",
-      "6509 hosts, 11,602 communicating pairs of >20M, top-10% pairs -> "
-      ">90% of flows, <9.8% inter-group, centrality 0.853");
+namespace {
 
+int body(benchx::BenchReport& report) {
   const topo::Topology topo = benchx::real_topology();
   const workload::Trace trace = benchx::real_trace(topo);
   const workload::TraceStats stats = workload::compute_stats(trace, topo, 5);
@@ -51,5 +49,23 @@ int main() {
               "cross-tenant/hub pairs; the locality and skew statistics "
               "are what LazyCtrl exploits and what the generator is "
               "calibrated to.\n");
+  report.metric("distinct_pairs", static_cast<double>(stats.distinct_pairs),
+                "pairs");
+  report.metric("top10_pair_flow_share", stats.top10_pair_flow_share,
+                "fraction");
+  report.metric("inter_group_fraction_5way",
+                1.0 - stats.intra_group_flow_fraction, "fraction");
+  report.metric("avg_centrality", stats.avg_centrality, "centrality");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "section2_motivation",
+      "§II-A — traffic locality measurements on the (stand-in) real trace",
+      "6509 hosts, 11,602 communicating pairs of >20M, top-10% pairs -> "
+      ">90% of flows, <9.8% inter-group, centrality 0.853",
+      {}, body);
 }

@@ -8,14 +8,13 @@
 #include "bloom/bloom_filter.h"
 #include "bench_common.h"
 #include "core/gfib.h"
+#include "harness.h"
 
 using namespace lazyctrl;
 
-int main() {
-  benchx::print_header(
-      "§V-D — G-FIB storage overhead and false-positive rate",
-      "46-switch group -> 92,160 B per switch, FP < 0.1%");
+namespace {
 
+int body(benchx::BenchReport& report) {
   // Paper filter geometry: 16 entries x 128 B = 2048 B = 16384 bits.
   const BloomParameters params{16384, 8};
   const std::size_t hosts_per_switch = 24;  // ~6.5k hosts / 272 switches
@@ -47,6 +46,10 @@ int main() {
                           : 0.0;
     std::printf("%-12zu %16zu %18zu %13.4f%%\n", group, gfib.peer_count(),
                 gfib.storage_bytes(), 100.0 * fp);
+    const std::string suffix = "_group" + std::to_string(group);
+    report.memory_bytes("gfib_bytes_per_switch" + suffix,
+                        static_cast<double>(gfib.storage_bytes()));
+    report.metric("false_positive_rate" + suffix, fp, "fraction");
   }
 
   std::printf("\nPaper check: group 46 -> 45 filters x 2048 B = 92,160 B; "
@@ -54,4 +57,13 @@ int main() {
   std::printf("Storage grows linearly with group size (bytes/switch = "
               "(g-1) x 2048).\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "storage_overhead",
+      "§V-D — G-FIB storage overhead and false-positive rate",
+      "46-switch group -> 92,160 B per switch, FP < 0.1%", {}, body);
 }

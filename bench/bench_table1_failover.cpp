@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "core/failover.h"
+#include "harness.h"
 #include "sim/simulator.h"
 
 using namespace lazyctrl;
@@ -41,13 +42,8 @@ std::vector<SwitchId> members(std::size_t n) {
   return m;
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header(
-      "Table I — Failure inference on the detection wheel",
-      "loss on ring-up only -> peer link (up); ring-down only -> peer link "
-      "(down); spoke only -> control link; all three -> switch");
+int body(benchx::BenchReport& report) {
+  int scenarios_with_detections = 0;
 
   // Scenario 1: control link failure -> relay via upstream neighbour.
   {
@@ -62,6 +58,12 @@ int main() {
     std::printf("  control messages of S3 relayed via upstream S%u: %s\n",
                 wheel.upstream_of(SwitchId{3}).value(),
                 wheel.control_relayed(SwitchId{3}) ? "yes" : "no");
+    if (!wheel.events().empty()) {
+      ++scenarios_with_detections;
+      report.metric("detection_seconds_control_link",
+                    to_seconds(wheel.events().front().at - 5 * kSecond),
+                    "s");
+    }
   }
 
   // Scenario 2: peer link failure away from the designated switch.
@@ -75,6 +77,12 @@ int main() {
     s.run_until(30 * kSecond);
     print_events(wheel, "peer link S5 <-> S6 fails", 5 * kSecond);
     std::printf("  designated unchanged: S%u\n", wheel.designated().value());
+    if (!wheel.events().empty()) {
+      ++scenarios_with_detections;
+      report.metric("detection_seconds_peer_link",
+                    to_seconds(wheel.events().front().at - 5 * kSecond),
+                    "s");
+    }
   }
 
   // Scenario 3: peer link failure at the designated switch -> re-election.
@@ -88,6 +96,7 @@ int main() {
     s.run_until(30 * kSecond);
     print_events(wheel, "peer link at designated S5 fails", 5 * kSecond);
     std::printf("  designated re-elected: S%u\n", wheel.designated().value());
+    if (!wheel.events().empty()) ++scenarios_with_detections;
   }
 
   // Scenario 4: switch failure -> outage, reboot, resync.
@@ -103,10 +112,28 @@ int main() {
     std::printf("  back online: %s; designated now S%u\n",
                 wheel.is_switch_up(SwitchId{2}) ? "yes" : "no",
                 wheel.designated().value());
+    if (!wheel.events().empty()) {
+      ++scenarios_with_detections;
+      report.metric("detection_seconds_switch_failure",
+                    to_seconds(wheel.events().front().at - 5 * kSecond),
+                    "s");
+    }
   }
 
   std::printf("\nAll four Table I rows exercised: detection fires after %d "
               "missed keep-alives (%.0fs at a %.0fs period).\n",
               3, 3.0, 1.0);
-  return 0;
+  report.metric("scenarios_with_detections",
+                static_cast<double>(scenarios_with_detections), "scenarios");
+  return scenarios_with_detections == 4 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "table1_failover", "Table I — Failure inference on the detection wheel",
+      "loss on ring-up only -> peer link (up); ring-down only -> peer link "
+      "(down); spoke only -> control link; all three -> switch",
+      {}, body);
 }

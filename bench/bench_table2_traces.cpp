@@ -11,15 +11,16 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "harness.h"
 #include "workload/stats.h"
 
 using namespace lazyctrl;
 
 namespace {
 
-void report(const char* name, const workload::Trace& trace,
-            const topo::Topology& topo, double paper_centrality, double p,
-            double q) {
+void report_trace(benchx::BenchReport& out, const char* name,
+                  const workload::Trace& trace, const topo::Topology& topo,
+                  double paper_centrality, double p, double q) {
   const workload::TraceStats s = workload::compute_stats(trace, topo, 5);
   std::printf("%-6s %10zu %12.0fM %12.3f %10.2f", name, trace.flow_count(),
               static_cast<double>(trace.flow_count()) *
@@ -32,33 +33,44 @@ void report(const char* name, const workload::Trace& trace,
   }
   std::printf("   (top-10%% pair share: %.2f, intra-group: %.2f)\n",
               s.top10_pair_flow_share, s.intra_group_flow_fraction);
+  const std::string slug = benchx::slugify(name);
+  out.metric("centrality_" + slug, s.avg_centrality, "centrality");
+  out.metric("flows_" + slug, static_cast<double>(trace.flow_count()),
+             "flows");
 }
 
-}  // namespace
-
-int main() {
-  benchx::print_header("Table II — Characteristics of the traffic traces",
-                       "Real 271M flows c=0.85; Syn-A/B/C with (p,q) = "
-                       "(90,10)/(70,20)/(70,30), c = 0.85/0.72/0.61");
-
+int body(benchx::BenchReport& report) {
   std::printf("%-6s %10s %13s %12s %10s %6s %6s\n", "trace", "flows",
               "(paper-scale)", "centrality", "(paper)", "p%", "q%");
 
   {
     const topo::Topology topo = benchx::real_topology();
     const workload::Trace real = benchx::real_trace(topo);
-    report("Real", real, topo, 0.85, -1, -1);
+    report_trace(report, "Real", real, topo, 0.85, -1, -1);
   }
   {
     const topo::Topology topo = benchx::synthetic_topology();
     std::printf("(synthetic topology: %zu switches, %zu hosts)\n",
                 topo.switch_count(), topo.host_count());
-    report("Syn-A", benchx::synthetic_trace(topo, 90, 10, 2720, 501), topo,
-           0.85, 90, 10);
-    report("Syn-B", benchx::synthetic_trace(topo, 70, 20, 3806, 502), topo,
-           0.72, 70, 20);
-    report("Syn-C", benchx::synthetic_trace(topo, 70, 30, 5071, 503), topo,
-           0.61, 70, 30);
+    report_trace(report, "Syn-A",
+                 benchx::synthetic_trace(topo, 90, 10, 2720, 501), topo,
+                 0.85, 90, 10);
+    report_trace(report, "Syn-B",
+                 benchx::synthetic_trace(topo, 70, 20, 3806, 502), topo,
+                 0.72, 70, 20);
+    report_trace(report, "Syn-C",
+                 benchx::synthetic_trace(topo, 70, 30, 5071, 503), topo,
+                 0.61, 70, 30);
   }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return benchx::run_benchmark(
+      "table2_traces", "Table II — Characteristics of the traffic traces",
+      "Real 271M flows c=0.85; Syn-A/B/C with (p,q) = "
+      "(90,10)/(70,20)/(70,30), c = 0.85/0.72/0.61",
+      {}, body);
 }

@@ -1,0 +1,67 @@
+// CI gate for the benchmark JSON pipeline.
+//
+//   check_bench_json <dir> [expected_name...]
+//
+// Validates every BENCH_*.json under <dir> against the harness schema and,
+// when expected names are listed, fails if any BENCH_<name>.json is
+// missing. Exit codes: 0 ok, 1 validation failure, 2 missing file / bad
+// usage.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness.h"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <dir> [expected_name...]\n", argv[0]);
+    return 2;
+  }
+  const fs::path dir = argv[1];
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "check_bench_json: %s is not a directory\n",
+                 argv[1]);
+    return 2;
+  }
+
+  std::set<std::string> found;
+  int bad = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!lazyctrl::benchx::validate_bench_json(buf.str(), &error)) {
+      std::fprintf(stderr, "INVALID %s: %s\n", file.c_str(), error.c_str());
+      ++bad;
+    } else {
+      std::printf("ok      %s\n", file.c_str());
+      found.insert(
+          file.substr(6, file.size() - 6 - 5));  // strip BENCH_ and .json
+    }
+  }
+
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!found.contains(argv[i])) {
+      std::fprintf(stderr, "MISSING BENCH_%s.json\n", argv[i]);
+      ++missing;
+    }
+  }
+
+  std::printf("%zu valid, %d invalid, %d missing\n", found.size(), bad,
+              missing);
+  if (bad > 0) return 1;
+  if (missing > 0) return 2;
+  return 0;
+}

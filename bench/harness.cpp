@@ -1,0 +1,502 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace lazyctrl::benchx {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v >= 0) return v;
+  }
+  return fallback;
+}
+
+std::string json_dir() {
+  if (const char* s = std::getenv("LAZYCTRL_BENCH_JSON_DIR")) {
+    if (*s != '\0') return s;
+  }
+  return ".";
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+double finite_or_zero(double x) { return std::isfinite(x) ? x : 0.0; }
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", finite_or_zero(x));
+  out += buf;
+}
+
+// ---- minimal JSON reader used by validate_bench_json ----
+//
+// A deliberately small recursive-descent parser: enough to check structural
+// validity and to extract the typed values the schema requires. No external
+// dependency, no DOM beyond what validation needs.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      if (error) *error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error) *error = "trailing characters after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    std::ostringstream os;
+    os << why << " at offset " << pos_;
+    error_ = os.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            // Validation only needs structural correctness; keep the raw
+            // escape digits rather than decoding to UTF-8.
+            pos_ += 4;
+            *out += '?';
+            break;
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNull;
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return fail("bad number");
+    out->number = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool require(bool cond, const std::string& why, std::string* error) {
+  if (!cond && error) *error = why;
+  return cond;
+}
+
+}  // namespace
+
+std::string slugify(const std::string& text) {
+  std::string out;
+  bool pending_sep = false;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+void BenchReport::metric(const std::string& key, double value,
+                         const std::string& unit) {
+  Metric& m = metrics_[key];
+  if (m.unit.empty()) m.unit = unit;
+  m.samples.push_back(finite_or_zero(value));
+}
+
+std::string render_bench_json(const std::string& name,
+                              const std::string& title,
+                              const std::string& paper_reference,
+                              int repetitions, int warmup,
+                              double wall_seconds_median, int exit_status,
+                              const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": ";
+  out += std::to_string(kBenchJsonSchemaVersion);
+  out += ",\n  \"name\": ";
+  append_escaped(out, name);
+  out += ",\n  \"title\": ";
+  append_escaped(out, title);
+  out += ",\n  \"paper_reference\": ";
+  append_escaped(out, paper_reference);
+  out += ",\n  \"flow_scale_divisor\": ";
+  append_number(out, kFlowScaleDivisor);
+  out += ",\n  \"bench_scale\": ";
+  append_number(out, bench_scale());
+  out += ",\n  \"repetitions\": ";
+  out += std::to_string(repetitions);
+  out += ",\n  \"warmup\": ";
+  out += std::to_string(warmup);
+  out += ",\n  \"wall_seconds_median\": ";
+  append_number(out, wall_seconds_median);
+  out += ",\n  \"exit_status\": ";
+  out += std::to_string(exit_status);
+  out += ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, m] : report.metrics()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    append_escaped(out, key);
+    out += ": {\"value\": ";
+    append_number(out, median(m.samples));
+    out += ", \"unit\": ";
+    append_escaped(out, m.unit);
+    out += ", \"samples\": [";
+    for (std::size_t i = 0; i < m.samples.size(); ++i) {
+      if (i) out += ", ";
+      append_number(out, m.samples[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+int run_benchmark(const std::string& name, const std::string& title,
+                  const std::string& paper_reference, HarnessOptions options,
+                  const std::function<int(BenchReport&)>& body) {
+  const int reps =
+      std::max(1, env_int("LAZYCTRL_BENCH_REPS", options.repetitions));
+  const int warmup = env_int("LAZYCTRL_BENCH_WARMUP", options.warmup);
+
+  print_header(title, paper_reference);
+  std::printf("harness: %d warmup + %d measured repetition(s); JSON -> "
+              "%s/BENCH_%s.json\n\n",
+              warmup, reps, json_dir().c_str(), name.c_str());
+
+  for (int w = 0; w < warmup; ++w) {
+    BenchReport discard;
+    (void)body(discard);
+  }
+
+  BenchReport report;
+  std::vector<double> wall;
+  int status = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    status = std::max(status, body(report));
+    wall.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  const std::string path = json_dir() + "/BENCH_" + name + ".json";
+  const std::string doc = render_bench_json(
+      name, title, paper_reference, reps, warmup, median(wall), status,
+      report);
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << doc;
+    if (!f) {
+      std::fprintf(stderr, "harness: cannot write %s\n", path.c_str());
+      return 64;
+    }
+  }
+  std::string error;
+  if (!validate_bench_json(doc, &error)) {
+    std::fprintf(stderr, "harness: emitted JSON fails its own schema: %s\n",
+                 error.c_str());
+    return 65;
+  }
+  std::printf("\n[harness] wall median %.3fs over %d rep(s); wrote %s\n",
+              median(wall), reps, path.c_str());
+  return status;
+}
+
+bool validate_bench_json(const std::string& json_text, std::string* error) {
+  JsonValue root;
+  JsonParser parser(json_text);
+  if (!parser.parse(&root, error)) return false;
+  if (!require(root.kind == JsonValue::Kind::kObject, "root is not an object",
+               error)) {
+    return false;
+  }
+
+  const auto string_field = [&](const char* key) {
+    const JsonValue* v = root.find(key);
+    return v != nullptr && v->kind == JsonValue::Kind::kString;
+  };
+  const auto number_field = [&](const char* key) {
+    const JsonValue* v = root.find(key);
+    return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+  };
+
+  const JsonValue* version = root.find("schema_version");
+  if (!require(version != nullptr &&
+                   version->kind == JsonValue::Kind::kNumber &&
+                   version->number == kBenchJsonSchemaVersion,
+               "schema_version missing or not the supported version",
+               error)) {
+    return false;
+  }
+  for (const char* key : {"name", "title", "paper_reference"}) {
+    if (!require(string_field(key),
+                 std::string(key) + " missing or not a string", error)) {
+      return false;
+    }
+  }
+  for (const char* key : {"flow_scale_divisor", "bench_scale", "repetitions",
+                          "warmup", "wall_seconds_median", "exit_status"}) {
+    if (!require(number_field(key),
+                 std::string(key) + " missing or not a number", error)) {
+      return false;
+    }
+  }
+  if (!require(root.find("repetitions")->number >= 1, "repetitions < 1",
+               error)) {
+    return false;
+  }
+
+  const JsonValue* metrics = root.find("metrics");
+  if (!require(metrics != nullptr &&
+                   metrics->kind == JsonValue::Kind::kObject,
+               "metrics missing or not an object", error)) {
+    return false;
+  }
+  for (const auto& [key, m] : metrics->object) {
+    if (!require(m.kind == JsonValue::Kind::kObject,
+                 "metric " + key + " is not an object", error)) {
+      return false;
+    }
+    const JsonValue* value = m.find("value");
+    const JsonValue* unit = m.find("unit");
+    const JsonValue* samples = m.find("samples");
+    if (!require(value != nullptr && value->kind == JsonValue::Kind::kNumber,
+                 "metric " + key + " lacks a numeric value", error)) {
+      return false;
+    }
+    if (!require(unit != nullptr && unit->kind == JsonValue::Kind::kString,
+                 "metric " + key + " lacks a string unit", error)) {
+      return false;
+    }
+    if (!require(samples != nullptr &&
+                     samples->kind == JsonValue::Kind::kArray &&
+                     !samples->array.empty(),
+                 "metric " + key + " lacks a non-empty samples array",
+                 error)) {
+      return false;
+    }
+    for (const JsonValue& s : samples->array) {
+      if (!require(s.kind == JsonValue::Kind::kNumber,
+                   "metric " + key + " has a non-numeric sample", error)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lazyctrl::benchx

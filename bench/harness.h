@@ -1,0 +1,100 @@
+// Unified benchmark harness for the bench/ targets.
+//
+// Every bench binary wraps its body in run_benchmark(): the harness prints
+// the banner, runs optional warmup iterations, repeats the body N times,
+// aggregates every recorded metric to its median across repetitions, and
+// emits a schema-versioned machine-readable BENCH_<name>.json next to the
+// human-readable stdout. That JSON file is the perf trajectory record: CI
+// validates it against the schema (validate_bench_json) and successive PRs
+// can diff medians instead of scraping text tables.
+//
+// Environment knobs (all optional):
+//   LAZYCTRL_BENCH_REPS      override the repetition count
+//   LAZYCTRL_BENCH_WARMUP    override the warmup count
+//   LAZYCTRL_BENCH_JSON_DIR  where BENCH_<name>.json lands (default ".")
+//   LAZYCTRL_BENCH_SCALE     workload scale factor (see bench_common.h)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lazyctrl::benchx {
+
+/// Version of the emitted JSON document layout. Bump when the set of
+/// required top-level keys or the metric value shape changes.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// One named measurement. Re-recording the same key on a later repetition
+/// appends a sample; the JSON reports the median plus all samples.
+class BenchReport {
+ public:
+  /// Records `value` (with a human unit like "flows/s", "ms", "bytes",
+  /// "requests") for `key`. Keys are snake_case and stable across PRs —
+  /// they are the time series CI tracks.
+  void metric(const std::string& key, double value, const std::string& unit);
+
+  /// Convenience for the standard metric families the schema calls out.
+  void throughput(const std::string& key, double per_sec) {
+    metric(key, per_sec, "per_s");
+  }
+  void latency_ms(const std::string& key, double ms) {
+    metric(key, ms, "ms");
+  }
+  void controller_load(const std::string& key, double requests) {
+    metric(key, requests, "requests");
+  }
+  void memory_bytes(const std::string& key, double bytes) {
+    metric(key, bytes, "bytes");
+  }
+
+  struct Metric {
+    std::string unit;
+    std::vector<double> samples;  ///< one per repetition that recorded it
+  };
+  [[nodiscard]] const std::map<std::string, Metric>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::map<std::string, Metric> metrics_;
+};
+
+struct HarnessOptions {
+  /// Measured repetitions; the JSON reports per-metric medians across them.
+  /// Heavy figure reproductions default to 1; microbenches ask for more.
+  int repetitions = 1;
+  /// Discarded warmup runs of the body before measuring.
+  int warmup = 0;
+};
+
+/// Runs `body` under the harness (see file comment) and returns the exit
+/// code for main(): the worst body status across repetitions, or 64+ for
+/// harness-level failures (unwritable JSON). `name` must be the bench
+/// binary suffix (e.g. "fig7_controller_workload" for
+/// bench_fig7_controller_workload) — it names BENCH_<name>.json.
+int run_benchmark(const std::string& name, const std::string& title,
+                  const std::string& paper_reference, HarnessOptions options,
+                  const std::function<int(BenchReport&)>& body);
+
+/// Lowercases `text` and collapses every non-alphanumeric run into a
+/// single '_' (trimmed at both ends): "Syn-A, tight memory" ->
+/// "syn_a_tight_memory". For deriving stable metric keys from labels.
+std::string slugify(const std::string& text);
+
+/// Validates a BENCH_*.json document against schema version 1: structurally
+/// well-formed JSON plus the required keys and types. On failure returns
+/// false and, when `error` is non-null, stores a human-readable reason.
+bool validate_bench_json(const std::string& json_text, std::string* error);
+
+/// Serialises one report the way run_benchmark() writes it (exposed for
+/// tests, which validate the round trip against validate_bench_json).
+std::string render_bench_json(const std::string& name,
+                              const std::string& title,
+                              const std::string& paper_reference,
+                              int repetitions, int warmup,
+                              double wall_seconds_median, int exit_status,
+                              const BenchReport& report);
+
+}  // namespace lazyctrl::benchx

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# points at an existing file (anchors and external URLs are skipped).
+# Usage: scripts/check_doc_links.sh   (run from the repo root)
+set -u
+
+fail=0
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract (target) parts of [text](target) links.
+  while IFS= read -r link; do
+    target=${link%%#*}          # drop anchors
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK in $md: $link"
+      fail=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" | sed -E 's/.*\(([^)]+)\)/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"

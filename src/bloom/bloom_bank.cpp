@@ -5,37 +5,53 @@
 namespace lazyctrl {
 
 void BloomBank::set_filter(SwitchId peer, BloomFilter filter) {
-  filters_.insert_or_assign(peer, std::move(filter));
+  const auto it = std::lower_bound(
+      filters_.begin(), filters_.end(), peer,
+      [](const Entry& e, SwitchId p) { return e.peer < p; });
+  if (it != filters_.end() && it->peer == peer) {
+    it->filter = std::move(filter);
+  } else {
+    filters_.insert(it, Entry{peer, std::move(filter)});
+  }
 }
 
 void BloomBank::build_filter(SwitchId peer,
                              const std::vector<MacAddress>& hosts) {
   BloomFilter f(params_);
   for (MacAddress mac : hosts) f.insert(mac);
-  filters_.insert_or_assign(peer, std::move(f));
+  set_filter(peer, std::move(f));
 }
 
-void BloomBank::remove_filter(SwitchId peer) { filters_.erase(peer); }
+void BloomBank::remove_filter(SwitchId peer) {
+  const auto it = std::lower_bound(
+      filters_.begin(), filters_.end(), peer,
+      [](const Entry& e, SwitchId p) { return e.peer < p; });
+  if (it != filters_.end() && it->peer == peer) filters_.erase(it);
+}
 
 void BloomBank::clear() { filters_.clear(); }
 
 std::vector<SwitchId> BloomBank::query(MacAddress mac) const {
   std::vector<SwitchId> hits;
-  for (const auto& [peer, filter] : filters_) {
-    if (filter.may_contain(mac)) hits.push_back(peer);
-  }
-  std::sort(hits.begin(), hits.end());
+  query_into(BloomHash::of(mac), hits);
   return hits;
 }
 
+const BloomBank::Entry* BloomBank::find(SwitchId peer) const {
+  const auto it = std::lower_bound(
+      filters_.begin(), filters_.end(), peer,
+      [](const Entry& e, SwitchId p) { return e.peer < p; });
+  return it != filters_.end() && it->peer == peer ? &*it : nullptr;
+}
+
 const BloomFilter* BloomBank::filter(SwitchId peer) const {
-  auto it = filters_.find(peer);
-  return it == filters_.end() ? nullptr : &it->second;
+  const Entry* e = find(peer);
+  return e ? &e->filter : nullptr;
 }
 
 std::size_t BloomBank::storage_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& [peer, filter] : filters_) total += filter.storage_bytes();
+  for (const Entry& e : filters_) total += e.filter.storage_bytes();
   return total;
 }
 

@@ -4,11 +4,14 @@
 // S switches, every member keeps S-1 filters, each summarising one peer's
 // L-FIB. A lookup probes every filter and returns the vector of peers that
 // *might* host the queried MAC (false positives possible, negatives exact).
+//
+// Filters are stored in a vector sorted by SwitchId, so the hot-path scan
+// is a linear pass in ascending id order: results come out deterministic
+// with no per-query sort, and `query_into` appends into a caller-owned
+// buffer so the steady-state datapath performs no allocation at all.
 #pragma once
 
 #include <cstddef>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
@@ -37,8 +40,18 @@ class BloomBank {
   /// in ascending SwitchId order (deterministic fan-out).
   [[nodiscard]] std::vector<SwitchId> query(MacAddress mac) const;
 
+  /// Allocation-free variant: appends the matching peers (ascending id
+  /// order) to `out` without clearing it, reusing the caller's capacity.
+  /// `h` is the precomputed hash of the queried MAC, so probing S-1
+  /// filters costs one mixing pass instead of S-1.
+  void query_into(BloomHash h, std::vector<SwitchId>& out) const {
+    for (const Entry& e : filters_) {
+      if (e.filter.may_contain(h)) out.push_back(e.peer);
+    }
+  }
+
   [[nodiscard]] bool has_filter(SwitchId peer) const {
-    return filters_.contains(peer);
+    return find(peer) != nullptr;
   }
   [[nodiscard]] const BloomFilter* filter(SwitchId peer) const;
   [[nodiscard]] std::size_t filter_count() const noexcept {
@@ -51,8 +64,15 @@ class BloomBank {
   }
 
  private:
+  struct Entry {
+    SwitchId peer;
+    BloomFilter filter;
+  };
+
+  [[nodiscard]] const Entry* find(SwitchId peer) const;
+
   BloomParameters params_;
-  std::unordered_map<SwitchId, BloomFilter> filters_;
+  std::vector<Entry> filters_;  // kept sorted by ascending peer id
 };
 
 }  // namespace lazyctrl

@@ -6,27 +6,6 @@
 
 namespace lazyctrl {
 
-namespace {
-
-// Two independent 64-bit mixers (xxHash/SplitMix-style avalanche finalizers)
-// seeding the Kirsch-Mitzenmacher double hashing scheme.
-std::uint64_t mix1(std::uint64_t x) noexcept {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-std::uint64_t mix2(std::uint64_t x) noexcept {
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 BloomParameters BloomParameters::for_target(std::size_t expected_items,
                                             double target_fp_rate) {
   expected_items = std::max<std::size_t>(expected_items, 1);
@@ -45,36 +24,6 @@ BloomParameters BloomParameters::for_target(std::size_t expected_items,
 BloomFilter::BloomFilter(BloomParameters params)
     : words_((std::max<std::size_t>(params.bits, 64) + 63) / 64),
       hashes_(std::max<std::size_t>(params.hash_count, 1)) {}
-
-BloomFilter::IndexPair BloomFilter::hash_key(std::uint64_t key) const noexcept {
-  return IndexPair{mix1(key), mix2(key) | 1};  // h2 odd => full period
-}
-
-void BloomFilter::insert(std::uint64_t key) noexcept {
-  const IndexPair h = hash_key(key);
-  const std::size_t bits = bit_count();
-  std::uint64_t idx = h.h1;
-  for (std::size_t i = 0; i < hashes_; ++i) {
-    const std::size_t bit = static_cast<std::size_t>(idx % bits);
-    words_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
-    idx += h.h2;
-  }
-  ++inserted_;
-}
-
-bool BloomFilter::may_contain(std::uint64_t key) const noexcept {
-  const IndexPair h = hash_key(key);
-  const std::size_t bits = bit_count();
-  std::uint64_t idx = h.h1;
-  for (std::size_t i = 0; i < hashes_; ++i) {
-    const std::size_t bit = static_cast<std::size_t>(idx % bits);
-    if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
-      return false;
-    }
-    idx += h.h2;
-  }
-  return true;
-}
 
 void BloomFilter::clear() noexcept {
   std::fill(words_.begin(), words_.end(), 0);

@@ -37,18 +37,6 @@ TimeBucketSeries::TimeBucketSeries(SimDuration bucket_width,
   buckets_.resize(std::max<std::size_t>(n, 1));
 }
 
-void TimeBucketSeries::add(SimTime when, double value) {
-  add_n(when, value, 1);
-}
-
-void TimeBucketSeries::add_n(SimTime when, double value, std::uint64_t count) {
-  if (count == 0) return;
-  auto idx = static_cast<std::size_t>(std::max<SimTime>(when, 0) / width_);
-  idx = std::min(idx, buckets_.size() - 1);
-  buckets_[idx].sum += value * static_cast<double>(count);
-  buckets_[idx].events += count;
-}
-
 double TimeBucketSeries::bucket_sum(std::size_t i) const {
   return buckets_.at(i).sum;
 }

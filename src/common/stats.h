@@ -1,8 +1,10 @@
 // Small statistics helpers shared by the evaluation harness.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,11 +43,31 @@ class TimeBucketSeries {
   /// [0, horizon); samples outside are clamped into the last bucket.
   TimeBucketSeries(SimDuration bucket_width, SimDuration horizon);
 
-  void add(SimTime when, double value);
+  void add(SimTime when, double value) { add_n(when, value, 1); }
   /// Counts an event without a value (for rate series).
   void add_event(SimTime when) { add(when, 1.0); }
   /// Adds `count` samples of the same `value` at `when` in O(1).
-  void add_n(SimTime when, double value, std::uint64_t count);
+  /// Header-inline with a last-bucket memo: replay feeds samples in
+  /// near-sorted time order, so the common case is two compares instead of
+  /// a 64-bit division per sample on the per-flow hot path.
+  void add_n(SimTime when, double value, std::uint64_t count) {
+    if (count == 0) return;
+    std::size_t idx;
+    if (when >= memo_begin_ && when < memo_end_) {
+      idx = memo_idx_;
+    } else {
+      idx = bucket_index(when);
+      memo_idx_ = idx;
+      memo_begin_ = static_cast<SimTime>(idx) * width_;
+      memo_end_ = memo_begin_ + width_;
+      if (idx == buckets_.size() - 1) {
+        // The last bucket also absorbs everything past the horizon.
+        memo_end_ = std::numeric_limits<SimTime>::max();
+      }
+    }
+    buckets_[idx].sum += value * static_cast<double>(count);
+    buckets_[idx].events += count;
+  }
 
   [[nodiscard]] std::size_t bucket_count() const noexcept {
     return buckets_.size();
@@ -69,8 +91,19 @@ class TimeBucketSeries {
     double sum = 0.0;
     std::uint64_t events = 0;
   };
+
+  [[nodiscard]] std::size_t bucket_index(SimTime when) const noexcept {
+    const auto idx = static_cast<std::size_t>(
+        std::max<SimTime>(when, 0) / width_);
+    return std::min(idx, buckets_.size() - 1);
+  }
+
   SimDuration width_;
   std::vector<Bucket> buckets_;
+  // Last-bucket memo: [memo_begin_, memo_end_) maps to memo_idx_.
+  SimTime memo_begin_ = 1;  ///< empty interval until first add
+  SimTime memo_end_ = 0;
+  std::size_t memo_idx_ = 0;
 };
 
 /// Exact quantiles over a stored sample set. Intended for moderate sample

@@ -126,14 +126,36 @@ struct RuleConfig {
   std::size_t flow_table_capacity = 0;
 };
 
+/// Batched hot-path datapath (the replay() fast path).
+struct BatchConfig {
+  /// Trace flows handled per simulator event during replay(). Values <= 1
+  /// keep the legacy one-event-per-flow datapath. A batch never extends
+  /// past the next pending control-plane event (stats window, DGM round,
+  /// scheduled migration), so batched and single-packet modes produce
+  /// identical forwarding decisions and metrics — batching only amortises
+  /// event scheduling and per-decision allocation across the batch.
+  std::size_t flow_batch_size = 64;
+};
+
+/// Full configuration of a run; every subsystem documents its own knobs
+/// above and the README's "Configuration" section summarises them.
 struct Config {
+  /// Which control plane drives the network (kOpenFlow = baseline).
   ControlMode mode = ControlMode::kLazyCtrl;
+  /// Link/processing/service latencies of the simulated fabric.
   LatencyModel latency;
+  /// Controller cluster sizing (M/D/k queueing model).
   ControllerConfig controller;
+  /// LCG sizing, IncUpdate triggers and transition handling.
   GroupingConfig grouping;
+  /// Dynamic Group Maintenance (off unless dgm.mode is set).
   DgmConfig dgm;
+  /// G-FIB Bloom-filter geometry and mis-forward reporting.
   FibConfig fib;
+  /// Reactive-rule TTL and flow-table capacity.
   RuleConfig rules;
+  /// Batched hot-path datapath (flow batching in replay()).
+  BatchConfig batching;
   /// Designated switches report aggregated state this often (state link).
   SimDuration state_report_period = 30 * kSecond;
   /// Enable the per-group failure-detection wheel (keep-alive machinery);
@@ -145,6 +167,7 @@ struct Config {
   int keepalive_loss_threshold = 3;
   /// Time for a remotely rebooted switch to come back (§III-E3).
   SimDuration switch_reboot_delay = 10 * kSecond;
+  /// Master seed for all run randomness; equal seeds replay bit-identically.
   std::uint64_t seed = 1;
 };
 

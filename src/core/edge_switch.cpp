@@ -49,9 +49,72 @@ EdgeSwitch::Decision EdgeSwitch::decide(const net::Packet& p, SimTime now,
   return d;
 }
 
+void EdgeSwitch::decide_batch(std::span<const net::Packet> batch,
+                              ControlMode mode, DecisionBatch& out) {
+  const std::size_t base = out.decisions_.size();
+  out.decisions_.resize(base + batch.size());
+  std::vector<std::uint32_t>& open = out.scratch_;
+  open.clear();
+
+  // Stage 1: flow-table probe for every packet, in packet order.
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    const net::Packet& p = batch[i];
+    if (const openflow::FlowRule* rule = table_.lookup(p, p.created_at)) {
+      const_cast<openflow::FlowRule*>(rule)->expires_at =
+          p.created_at + rule_ttl_;
+      out.decisions_[base + i].kind = DecisionKind::kFlowTableHit;
+    } else {
+      open.push_back(i);
+    }
+  }
+  // OpenFlow baseline: every miss is a PacketIn (bulk punt, already the
+  // default-constructed kToController).
+  if (mode == ControlMode::kOpenFlow || open.empty()) return;
+
+  // Stage 2: L-FIB probe vector over the misses.
+  std::size_t kept = 0;
+  for (const std::uint32_t i : open) {
+    if (lfib_.contains(batch[i].dst_mac)) {
+      out.decisions_[base + i].kind = DecisionKind::kLocalDeliver;
+    } else {
+      open[kept++] = i;
+    }
+  }
+  open.resize(kept);
+
+  // Stage 3: grouped G-FIB scan. The hash of each destination is computed
+  // once and shared across all peer filters; a one-entry memo collapses
+  // bursts toward the same destination into a single scan.
+  std::uint64_t memo_key = 0;
+  bool memo_valid = false;
+  std::uint32_t memo_begin = 0;
+  std::uint32_t memo_end = 0;
+  for (const std::uint32_t i : open) {
+    const std::uint64_t key = batch[i].dst_mac.bits();
+    if (!memo_valid || key != memo_key) {
+      memo_begin = static_cast<std::uint32_t>(out.pool_.size());
+      gfib_.query_into(BloomHash::of(key), out.pool_);
+      memo_end = static_cast<std::uint32_t>(out.pool_.size());
+      memo_key = key;
+      memo_valid = true;
+    }
+    if (memo_begin != memo_end) {
+      out.decisions_[base + i].kind = DecisionKind::kIntraGroup;
+      out.decisions_[base + i].cand_begin = memo_begin;
+      out.decisions_[base + i].cand_end = memo_end;
+    }
+    // else: provably outside the group -> stays kToController (bulk punt).
+  }
+}
+
 std::unordered_map<SwitchId, std::uint64_t> EdgeSwitch::take_window_counts() {
   std::unordered_map<SwitchId, std::uint64_t> out;
-  out.swap(window_flows_);
+  out.reserve(window_touched_.size());
+  for (const SwitchId peer : window_touched_) {
+    out.emplace(peer, window_flows_[peer.value()]);
+    window_flows_[peer.value()] = 0;
+  }
+  window_touched_.clear();
   return out;
 }
 

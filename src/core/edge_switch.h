@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -78,8 +79,84 @@ class EdgeSwitch {
   /// controller. Refreshes the TTL of a hit rule.
   Decision decide(const net::Packet& p, SimTime now, ControlMode mode);
 
+  // --- batched forwarding pipeline ---
+  //
+  // decide_batch() is the zero-allocation form of decide() for a batch of
+  // packets entering this switch: stage 1 probes the flow table for every
+  // packet (in packet order, so TTL refreshes and lazy expiry happen in the
+  // same sequence as per-packet calls), stage 2 runs the L-FIB probe vector
+  // over the misses, stage 3 scans the G-FIB BloomBank with a precomputed
+  // per-packet hash (one mixing pass per packet, not per peer filter, plus
+  // a last-destination memo for bursts to one MAC), and whatever remains is
+  // marked for the bulk controller punt. Candidate peers land in one shared
+  // pool inside the DecisionBatch; after warm-up a batch performs no heap
+  // allocation.
+  //
+  // Each packet is decided at its own `created_at` timestamp. Because the
+  // switch tables are not mutated between the per-packet calls it replaces,
+  // decide_batch(batch)[i] is identical to decide(batch[i]) called in
+  // sequence — the equivalence the batched simulator mode relies on.
+
+  /// One decision of a batch. Unlike Decision, no rule pointer is exposed:
+  /// a flow-table mutation later in the same batch (install, lazy expiry
+  /// sweep) can reallocate the rule storage, so a stored pointer could
+  /// dangle before the batch is even consumed. A hit's TTL refresh happens
+  /// inside the stage-1 lookup; consumers needing rule details re-probe.
+  struct BatchDecision {
+    DecisionKind kind = DecisionKind::kToController;
+    std::uint32_t cand_begin = 0;  ///< kIntraGroup: range into the pool,
+    std::uint32_t cand_end = 0;    ///< ascending id order.
+  };
+
+  /// Reusable result storage for decide_batch: decisions plus the shared
+  /// candidate pool. clear() keeps capacity, so steady-state batches do
+  /// not allocate.
+  class DecisionBatch {
+   public:
+    void clear() noexcept {
+      decisions_.clear();
+      pool_.clear();
+    }
+    [[nodiscard]] std::size_t size() const noexcept {
+      return decisions_.size();
+    }
+    [[nodiscard]] const BatchDecision& operator[](std::size_t i) const {
+      return decisions_[i];
+    }
+    /// Candidate peers of decision `d`, ascending id order.
+    [[nodiscard]] std::span<const SwitchId> candidates(
+        const BatchDecision& d) const noexcept {
+      return {pool_.data() + d.cand_begin,
+              static_cast<std::size_t>(d.cand_end - d.cand_begin)};
+    }
+
+   private:
+    friend class EdgeSwitch;
+    std::vector<BatchDecision> decisions_;
+    std::vector<SwitchId> pool_;
+    std::vector<std::uint32_t> scratch_;  ///< unresolved packet offsets
+  };
+
+  /// Decides every packet of `batch` (all ingressing at this switch) and
+  /// APPENDS one BatchDecision per packet to `out` — callers clear() the
+  /// DecisionBatch when starting a new batch. Append semantics let one
+  /// DecisionBatch accumulate the per-switch runs of a mixed-ingress batch
+  /// while every candidate span stays valid. Equivalent to calling
+  /// decide(p, p.created_at, mode) per packet; see the pipeline notes
+  /// above.
+  void decide_batch(std::span<const net::Packet> batch, ControlMode mode,
+                    DecisionBatch& out);
+
   // --- state advertisement counters (per stats window) ---
-  void record_new_flow_to(SwitchId peer) { ++window_flows_[peer]; }
+  /// Per-flow hot-path increment: a flat array indexed by peer id plus a
+  /// touched-list, so recording costs one bounds check and one add instead
+  /// of a hash-map operation per flow.
+  void record_new_flow_to(SwitchId peer) {
+    const std::size_t idx = peer.value();
+    if (idx >= window_flows_.size()) window_flows_.resize(idx + 1, 0);
+    if (window_flows_[idx] == 0) window_touched_.push_back(peer);
+    ++window_flows_[idx];
+  }
   /// Drains and returns the per-peer new-flow counts for this window.
   std::unordered_map<SwitchId, std::uint64_t> take_window_counts();
 
@@ -94,7 +171,8 @@ class EdgeSwitch {
   SwitchId designated_;
   SimTime transition_until_ = 0;
   SimDuration rule_ttl_;
-  std::unordered_map<SwitchId, std::uint64_t> window_flows_;
+  std::vector<std::uint64_t> window_flows_;  ///< indexed by peer switch id
+  std::vector<SwitchId> window_touched_;     ///< peers with non-zero counts
 };
 
 }  // namespace lazyctrl::core

@@ -31,6 +31,13 @@ class GFib {
     return bank_.query(mac);
   }
 
+  /// Allocation-free hot-path variant: appends candidates (ascending id
+  /// order) into `out`; `h` is the precomputed hash of the queried MAC so
+  /// all peer filters share one mixing pass.
+  void query_into(BloomHash h, std::vector<SwitchId>& out) const {
+    bank_.query_into(h, out);
+  }
+
   [[nodiscard]] std::size_t peer_count() const noexcept {
     return bank_.filter_count();
   }

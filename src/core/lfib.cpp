@@ -1,25 +1,81 @@
 #include "core/lfib.h"
 
+#include <utility>
+
 namespace lazyctrl::core {
 
 bool LFib::learn(MacAddress mac, HostId host, TenantId tenant) {
-  auto [it, inserted] = entries_.insert_or_assign(mac, LFibEntry{host, tenant});
-  return inserted;
+  // Grow at 3/4 load so probe chains stay short.
+  if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+
+  const std::uint64_t key = mac.bits();
+  const std::size_t m = mask();
+  for (std::size_t i = hash_key(key) & m;; i = (i + 1) & m) {
+    Slot& s = slots_[i];
+    if (!s.occupied()) {
+      s.key_plus_one = key + 1;
+      s.entry = LFibEntry{host, tenant};
+      ++size_;
+      return true;
+    }
+    if (s.key_plus_one == key + 1) {
+      s.entry = LFibEntry{host, tenant};
+      return false;
+    }
+  }
 }
 
-bool LFib::forget(MacAddress mac) { return entries_.erase(mac) > 0; }
+bool LFib::forget(MacAddress mac) {
+  const std::uint64_t key = mac.bits();
+  const std::size_t m = mask();
+  std::size_t i = hash_key(key) & m;
+  for (;; i = (i + 1) & m) {
+    if (!slots_[i].occupied()) return false;
+    if (slots_[i].key_plus_one == key + 1) break;
+  }
 
-std::optional<LFibEntry> LFib::lookup(MacAddress mac) const {
-  auto it = entries_.find(mac);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  // Backward-shift deletion: pull displaced entries of the probe chain back
+  // over the hole so lookups never need tombstones.
+  std::size_t hole = i;
+  for (std::size_t j = (hole + 1) & m; slots_[j].occupied(); j = (j + 1) & m) {
+    const std::size_t ideal = hash_key(slots_[j].key_plus_one - 1) & m;
+    // Move j into the hole iff its ideal slot does not lie strictly between
+    // the hole and j (circularly) — i.e. the entry is displaced past the hole.
+    if (((j - ideal) & m) >= ((j - hole) & m)) {
+      slots_[hole] = slots_[j];
+      slots_[j] = Slot{};
+      hole = j;
+    }
+  }
+  slots_[hole] = Slot{};
+  --size_;
+  return true;
 }
 
 std::vector<MacAddress> LFib::macs() const {
   std::vector<MacAddress> out;
-  out.reserve(entries_.size());
-  for (const auto& [mac, entry] : entries_) out.push_back(mac);
+  out.reserve(size_);
+  for (const Slot& s : slots_) {
+    if (s.occupied()) out.push_back(MacAddress{s.key_plus_one - 1});
+  }
   return out;
+}
+
+void LFib::clear() {
+  slots_.assign(kMinCapacity, Slot{});
+  size_ = 0;
+}
+
+void LFib::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t m = mask();
+  for (const Slot& s : old) {
+    if (!s.occupied()) continue;
+    std::size_t i = hash_key(s.key_plus_one - 1) & m;
+    while (slots_[i].occupied()) i = (i + 1) & m;
+    slots_[i] = s;
+  }
 }
 
 }  // namespace lazyctrl::core

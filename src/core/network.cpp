@@ -238,6 +238,9 @@ void Network::install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
   rule.match.tenant = pkt.tenant;
   rule.match.dst_mac = pkt.dst_mac;
   if (exact_match) rule.match.src_mac = pkt.src_mac;  // OpenFlow baseline
+  if (active_batch_ != nullptr) {
+    active_batch_->installs.push_back(rule.match);
+  }
   if (dst_sw == sw.id()) {
     rule.action.type = openflow::ActionType::kForwardLocal;
   } else {
@@ -291,9 +294,128 @@ void Network::on_flow(const workload::Flow& flow) {
   }
 }
 
+void Network::on_flow_batch(const std::vector<workload::Flow>& flows,
+                            std::size_t begin, std::size_t end) {
+  BatchScratch& b = *batch_;
+  b.packets.clear();
+  b.meta.clear();
+  const std::size_t n = end - begin;
+  const bool lazy = config_.mode == ControlMode::kLazyCtrl;
+
+  // Assemble: build the packet batch in the arena-backed staging buffer and
+  // classify each flow (same bookkeeping as the head of on_flow()).
+  for (std::size_t k = begin; k < end; ++k) {
+    const workload::Flow& flow = flows[k];
+    ++metrics_->flows_seen;
+    metrics_->flow_arrivals.add_event(flow.start);
+    const topo::HostInfo& src = topology_.host_info(flow.src);
+    const topo::HostInfo& dst = topology_.host_info(flow.dst);
+
+    net::Packet pkt;
+    pkt.kind = net::PacketKind::kData;
+    pkt.src_mac = src.mac;
+    pkt.dst_mac = dst.mac;
+    pkt.tenant = src.tenant;
+    pkt.payload_bytes = flow.avg_packet_bytes;
+    pkt.flow_id = flow.id;
+    pkt.created_at = flow.start;
+    b.packets.emplace_back(pkt);
+
+    BatchScratch::FlowMeta m{src.attached_switch, dst.attached_switch, false};
+    if (m.src_sw != m.dst_sw) {
+      switches_[m.src_sw.value()]->record_new_flow_to(m.dst_sw);
+    }
+    // Transition-window flows are handled without a decide() in sequential
+    // mode; deciding them here would add TTL-refresh side effects.
+    if (lazy && !host_pair_excluded(flow) &&
+        switches_[m.src_sw.value()]->in_transition(flow.start)) {
+      m.transition_special = true;
+    }
+    b.meta.push_back(m);
+  }
+
+  // Decide and handle run-by-run in global flow order (the controller
+  // queue is order-sensitive). A run is a maximal stretch of consecutive
+  // flows ingressing at the same switch; each run goes through the staged
+  // decide_batch pipeline just before it is handled, so installs from
+  // earlier runs are already visible. Within a run, a precomputed decision
+  // is stale iff a rule installed while handling an earlier flow of the
+  // same run matches the packet (or the flow table is bounded, where any
+  // install can evict) — those are re-decided sequentially.
+  active_batch_ = &b;
+  std::size_t k = 0;
+  while (k < n) {
+    const BatchScratch::FlowMeta& head = b.meta[k];
+    if (head.transition_special) {
+      const bool handled = handle_transition_flow(flows[begin + k],
+                                                  head.src_sw, head.dst_sw,
+                                                  b.packets[k]);
+      (void)handled;
+      assert(handled && "transition window cannot close mid-batch");
+      ++k;
+      continue;
+    }
+
+    std::size_t run_end = k + 1;
+    while (run_end < n && b.meta[run_end].src_sw == head.src_sw &&
+           !b.meta[run_end].transition_special) {
+      ++run_end;
+    }
+    EdgeSwitch& sw = *switches_[head.src_sw.value()];
+    b.decisions.clear();
+    b.installs.clear();
+    sw.decide_batch(
+        std::span<const net::Packet>(b.packets.data() + k, run_end - k),
+        config_.mode, b.decisions);
+
+    const bool bounded = sw.flow_table().capacity() != 0;
+    for (std::size_t r = k; r < run_end; ++r) {
+      const workload::Flow& flow = flows[begin + r];
+      const BatchScratch::FlowMeta& m = b.meta[r];
+      const net::Packet& pkt = b.packets[r];
+
+      bool stale = false;
+      for (const openflow::Match& match : b.installs) {
+        if (bounded || match.matches(pkt)) {
+          stale = true;
+          break;
+        }
+      }
+
+      DecisionView view;
+      EdgeSwitch::Decision fresh;
+      if (stale) {
+        fresh = sw.decide(pkt, flow.start, config_.mode);
+        view = DecisionView{fresh.kind, fresh.candidates};
+      } else {
+        const EdgeSwitch::BatchDecision& d = b.decisions[r - k];
+        view = DecisionView{d.kind, b.decisions.candidates(d)};
+      }
+      if (config_.mode == ControlMode::kOpenFlow) {
+        process_openflow_decision(flow, m.src_sw, m.dst_sw, pkt, view);
+      } else {
+        process_lazyctrl_decision(flow, m.src_sw, m.dst_sw, pkt, view);
+      }
+    }
+    k = run_end;
+  }
+  active_batch_ = nullptr;
+}
+
 void Network::handle_flow_openflow(const workload::Flow& flow,
                                    SwitchId src_sw, SwitchId dst_sw,
                                    const net::Packet& pkt) {
+  EdgeSwitch::Decision d =
+      switches_[src_sw.value()]->decide(pkt, flow.start,
+                                        ControlMode::kOpenFlow);
+  process_openflow_decision(flow, src_sw, dst_sw, pkt,
+                            DecisionView{d.kind, d.candidates});
+}
+
+void Network::process_openflow_decision(const workload::Flow& flow,
+                                        SwitchId src_sw, SwitchId dst_sw,
+                                        const net::Packet& pkt,
+                                        const DecisionView& d) {
   const SimTime now = flow.start;
   const LatencyModel& lat = config_.latency;
   const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
@@ -301,8 +423,6 @@ void Network::handle_flow_openflow(const workload::Flow& flow,
       2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
   const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
 
-  EdgeSwitch& sw = *switches_[src_sw.value()];
-  EdgeSwitch::Decision d = sw.decide(pkt, now, ControlMode::kOpenFlow);
   if (d.kind == EdgeSwitch::DecisionKind::kFlowTableHit) {
     ++metrics_->flows_flow_table_hit;
     account_flow_latency(flow, steady, steady);
@@ -311,13 +431,17 @@ void Network::handle_flow_openflow(const workload::Flow& flow,
   // Every miss is a PacketIn; the controller resolves via C-LIB and
   // installs an exact-match rule (Floodlight learning-switch behaviour).
   const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
-  install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/true, now);
+  install_reactive_rule(*switches_[src_sw.value()], pkt, dst_sw,
+                        /*exact_match=*/true, now);
   account_flow_latency(flow, steady + ctrl, steady);
 }
 
-void Network::handle_flow_lazyctrl(const workload::Flow& flow,
-                                   SwitchId src_sw, SwitchId dst_sw,
-                                   const net::Packet& pkt) {
+bool Network::handle_transition_flow(const workload::Flow& flow,
+                                     SwitchId src_sw, SwitchId dst_sw,
+                                     const net::Packet& pkt) {
+  EdgeSwitch& sw = *switches_[src_sw.value()];
+  if (host_pair_excluded(flow) || !sw.in_transition(flow.start)) return false;
+
   const SimTime now = flow.start;
   const LatencyModel& lat = config_.latency;
   const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
@@ -325,30 +449,47 @@ void Network::handle_flow_lazyctrl(const workload::Flow& flow,
       2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
   const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
 
+  if (config_.grouping.preload_on_update) {
+    // Preloaded temporary rule absorbs the transition.
+    ++metrics_->flows_flow_table_hit;
+    account_flow_latency(flow, steady, steady);
+    return true;
+  }
+  ++metrics_->transition_punts;
+  const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
+  install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+  account_flow_latency(flow, steady + ctrl, steady);
+  return true;
+}
+
+void Network::handle_flow_lazyctrl(const workload::Flow& flow,
+                                   SwitchId src_sw, SwitchId dst_sw,
+                                   const net::Packet& pkt) {
+  // Grouping transition window (appendix B preload).
+  if (handle_transition_flow(flow, src_sw, dst_sw, pkt)) return;
+
+  EdgeSwitch::Decision d =
+      switches_[src_sw.value()]->decide(pkt, flow.start,
+                                        ControlMode::kLazyCtrl);
+  process_lazyctrl_decision(flow, src_sw, dst_sw, pkt,
+                            DecisionView{d.kind, d.candidates});
+}
+
+void Network::process_lazyctrl_decision(const workload::Flow& flow,
+                                        SwitchId src_sw, SwitchId dst_sw,
+                                        const net::Packet& pkt,
+                                        const DecisionView& d) {
+  const SimTime now = flow.start;
+  const LatencyModel& lat = config_.latency;
+  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
+  const SimDuration cross_path =
+      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
+  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
   EdgeSwitch& sw = *switches_[src_sw.value()];
 
   // Appendix B host exclusion: excluded hosts are controller-handled.
-  const bool excluded = excluded_hosts_.contains(flow.src.value()) ||
-                        excluded_hosts_.contains(flow.dst.value());
-
-  // Grouping transition window (appendix B preload).
-  if (!excluded && sw.in_transition(now)) {
-    if (config_.grouping.preload_on_update) {
-      // Preloaded temporary rule absorbs the transition.
-      ++metrics_->flows_flow_table_hit;
-      account_flow_latency(flow, steady, steady);
-      return;
-    }
-    ++metrics_->transition_punts;
-    const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
-    install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
-    account_flow_latency(flow, steady + ctrl, steady);
-    return;
-  }
-
-  EdgeSwitch::Decision d = sw.decide(pkt, now, ControlMode::kLazyCtrl);
-
-  if (excluded && d.kind != EdgeSwitch::DecisionKind::kFlowTableHit &&
+  if (host_pair_excluded(flow) &&
+      d.kind != EdgeSwitch::DecisionKind::kFlowTableHit &&
       d.kind != EdgeSwitch::DecisionKind::kLocalDeliver) {
     // Controller-managed host: fine-grained control, with rule caching.
     const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
@@ -547,17 +688,42 @@ void Network::replay(const workload::Trace& trace) {
         m.at, [this, m] { perform_migration(m.host, m.to); });
   }
 
-  // Cursor-driven flow injection: one pending event at a time.
+  // Cursor-driven flow injection: one pending event at a time. With
+  // flow_batch_size > 1 each event drains a whole run of consecutive flows
+  // through the batched datapath; the batch is fenced by the next pending
+  // control-plane event so results match single-flow injection exactly.
   if (!trace.flows.empty()) {
     const std::vector<workload::Flow>* flows = &trace.flows;
+    const std::size_t batch_size = config_.batching.flow_batch_size;
     auto inject = std::make_shared<std::function<void(std::size_t)>>();
-    *inject = [this, flows, inject](std::size_t i) {
-      on_flow((*flows)[i]);
-      if (i + 1 < flows->size()) {
-        simulator_.schedule_at((*flows)[i + 1].start,
-                               [inject, i](){ (*inject)(i + 1); });
-      }
-    };
+    if (batch_size <= 1) {
+      *inject = [this, flows, inject](std::size_t i) {
+        on_flow((*flows)[i]);
+        if (i + 1 < flows->size()) {
+          simulator_.schedule_at((*flows)[i + 1].start,
+                                 [inject, i](){ (*inject)(i + 1); });
+        }
+      };
+    } else {
+      if (!batch_) batch_ = std::make_unique<BatchScratch>();
+      *inject = [this, flows, inject, batch_size](std::size_t i) {
+        // The event for flow i has already fired, so i is always safe to
+        // process. Later flows join the batch only while they start
+        // strictly before the next pending event: at a timestamp tie the
+        // sequential datapath would run that event first.
+        const SimTime fence = simulator_.next_event_time();
+        const std::size_t cap = std::min(flows->size(), i + batch_size);
+        std::size_t batch_end = i + 1;
+        while (batch_end < cap && (*flows)[batch_end].start < fence) {
+          ++batch_end;
+        }
+        on_flow_batch(*flows, i, batch_end);
+        if (batch_end < flows->size()) {
+          simulator_.schedule_at((*flows)[batch_end].start,
+                                 [inject, batch_end] { (*inject)(batch_end); });
+        }
+      };
+    }
     simulator_.schedule_at(trace.flows.front().start,
                            [inject] { (*inject)(0); });
   }

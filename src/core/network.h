@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "dgm/maintainer.h"
 #include "dgm/traffic_monitor.h"
 #include "graph/weighted_graph.h"
+#include "net/packet_arena.h"
+#include "openflow/flow_table.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
 #include "workload/trace.h"
@@ -120,11 +123,41 @@ class Network : private dgm::GroupingHost {
     SimDuration cross;  ///< host -> switch -> underlay -> switch -> host
   };
 
+  /// A forwarding decision seen by the shared processing code: either a
+  /// single decide() result or one slot of a DecisionBatch.
+  struct DecisionView {
+    EdgeSwitch::DecisionKind kind;
+    std::span<const SwitchId> candidates;  ///< kIntraGroup only
+  };
+
   void on_flow(const workload::Flow& flow);
+  /// Batched datapath: handles trace flows [begin, end) inside ONE
+  /// simulator event. Per-switch decide_batch runs precompute decisions;
+  /// handling then replays them in global flow order (the controller
+  /// queue is order-sensitive), re-deciding the rare packet whose switch
+  /// installed a matching rule earlier in the same batch. Produces
+  /// decisions and metrics identical to per-flow on_flow() calls.
+  void on_flow_batch(const std::vector<workload::Flow>& flows,
+                     std::size_t begin, std::size_t end);
   void handle_flow_lazyctrl(const workload::Flow& flow, SwitchId src_sw,
                             SwitchId dst_sw, const net::Packet& pkt);
   void handle_flow_openflow(const workload::Flow& flow, SwitchId src_sw,
                             SwitchId dst_sw, const net::Packet& pkt);
+  /// The appendix-B transition-window pre-decide path. Returns true when
+  /// the flow was fully handled (preload hit or transition punt).
+  bool handle_transition_flow(const workload::Flow& flow, SwitchId src_sw,
+                              SwitchId dst_sw, const net::Packet& pkt);
+  void process_openflow_decision(const workload::Flow& flow, SwitchId src_sw,
+                                 SwitchId dst_sw, const net::Packet& pkt,
+                                 const DecisionView& d);
+  void process_lazyctrl_decision(const workload::Flow& flow, SwitchId src_sw,
+                                 SwitchId dst_sw, const net::Packet& pkt,
+                                 const DecisionView& d);
+  [[nodiscard]] bool host_pair_excluded(const workload::Flow& flow) const {
+    return !excluded_hosts_.empty() &&
+           (excluded_hosts_.contains(flow.src.value()) ||
+            excluded_hosts_.contains(flow.dst.value()));
+  }
 
   /// PacketIn round trip: request at `now` from a switch, rule back.
   /// Returns the added delay and records workload metrics.
@@ -185,6 +218,27 @@ class Network : private dgm::GroupingHost {
     SimTime at;
   };
   std::vector<PendingMigration> pending_migrations_;
+
+  /// Reusable zero-allocation working set of the batched datapath
+  /// (allocated once when replay() runs with flow_batch_size > 1).
+  struct BatchScratch {
+    struct FlowMeta {
+      SwitchId src_sw;
+      SwitchId dst_sw;
+      bool transition_special = false;  ///< handled without a decide()
+    };
+    net::PacketBatch packets;    ///< one packet per batch flow
+    std::vector<FlowMeta> meta;  ///< parallel to `packets`
+    EdgeSwitch::DecisionBatch decisions;  ///< one same-switch run at a time
+    /// Rules installed while handling the current run: any later packet of
+    /// the run matching one is re-decided (its precomputed decision is
+    /// stale), mirroring the sequential install/decide interleaving.
+    std::vector<openflow::Match> installs;
+  };
+  std::unique_ptr<BatchScratch> batch_;
+  /// Non-null while on_flow_batch() handles decisions: install_reactive_rule
+  /// records installs here for the staleness check.
+  BatchScratch* active_batch_ = nullptr;
 
   /// One failure-detection wheel per group (empty unless failover enabled).
   std::vector<std::unique_ptr<FailureWheel>> wheels_;

@@ -1,0 +1,126 @@
+// Arena/pool storage for net::Packet on the batched hot path.
+//
+// The per-flow datapath used to materialise packets as short-lived stack
+// temporaries and per-decision heap vectors; the batched pipeline instead
+// assembles whole batches in stable, reusable storage:
+//
+//  * PacketBatch — a contiguous, reusable staging buffer for one batch of
+//    packets flowing through EdgeSwitch::decide_batch (this is what
+//    core::Network's batched replay uses). clear() keeps the capacity, so
+//    after warm-up refilling a batch is a plain overwrite.
+//  * PacketArena — a block-allocating pool with a free list for packets
+//    whose lifetime must outlive one batch. The current datapath consumes
+//    every packet synchronously, so nothing checks packets out yet; the
+//    arena is the storage primitive for modelling retained in-flight
+//    packets (queued punts, encapsulated copies in transit) without
+//    per-packet heap churn. Covered by tests/net_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace lazyctrl::net {
+
+/// Fixed-capacity-block pool for packets. check_out() returns a pointer
+/// stable until the matching check_in(); blocks are never freed until the
+/// arena dies, so a warmed-up arena allocates nothing.
+class PacketArena {
+ public:
+  /// `block_packets` is the number of packets per allocated block.
+  explicit PacketArena(std::size_t block_packets = 256)
+      : block_packets_(block_packets == 0 ? 1 : block_packets) {}
+
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  /// Takes a packet slot out of the pool (grabbing a fresh block when the
+  /// free list is dry) and initialises it to a copy of `p`.
+  Packet* check_out(const Packet& p) {
+    if (free_.empty()) grow();
+    Packet* slot = free_.back();
+    free_.pop_back();
+    *slot = p;
+    ++checked_out_;
+    return slot;
+  }
+
+  /// Returns a slot to the free list. The pointer must have come from
+  /// check_out() on this arena and must not be reused afterwards.
+  void check_in(Packet* p) noexcept {
+    free_.push_back(p);
+    --checked_out_;
+  }
+
+  [[nodiscard]] std::size_t checked_out() const noexcept {
+    return checked_out_;
+  }
+  /// Total packet slots owned by the arena (live + free).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return blocks_.size() * block_packets_;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+ private:
+  void grow() {
+    blocks_.push_back(std::make_unique<Packet[]>(block_packets_));
+    Packet* base = blocks_.back().get();
+    free_.reserve(free_.size() + block_packets_);
+    // Hand slots out in address order for cache-friendly batch fills.
+    for (std::size_t i = block_packets_; i-- > 0;) free_.push_back(base + i);
+  }
+
+  std::size_t block_packets_;
+  std::vector<std::unique_ptr<Packet[]>> blocks_;
+  std::vector<Packet*> free_;
+  std::size_t checked_out_ = 0;
+};
+
+/// A reusable contiguous batch of packets: the unit of work of the batched
+/// forwarding pipeline. Unlike a plain std::vector, the intended idiom is
+/// explicit — fill, process, clear — and clear() never releases capacity.
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+  explicit PacketBatch(std::size_t reserve_packets) {
+    packets_.reserve(reserve_packets);
+  }
+
+  Packet& emplace_back(const Packet& p) {
+    packets_.push_back(p);
+    return packets_.back();
+  }
+
+  void clear() noexcept { packets_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return packets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return packets_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return packets_.capacity();
+  }
+
+  [[nodiscard]] const Packet* data() const noexcept { return packets_.data(); }
+  [[nodiscard]] Packet* data() noexcept { return packets_.data(); }
+  [[nodiscard]] const Packet& operator[](std::size_t i) const noexcept {
+    return packets_[i];
+  }
+  [[nodiscard]] Packet& operator[](std::size_t i) noexcept {
+    return packets_[i];
+  }
+
+  [[nodiscard]] const Packet* begin() const noexcept {
+    return packets_.data();
+  }
+  [[nodiscard]] const Packet* end() const noexcept {
+    return packets_.data() + packets_.size();
+  }
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+}  // namespace lazyctrl::net

@@ -15,7 +15,8 @@ bool FlowTable::install(FlowRule rule) {
   // Replace an existing rule with the identical match and priority.
   for (FlowRule& r : rules_) {
     if (r.priority == rule.priority && same_match(r.match, rule.match)) {
-      r = rule;
+      r = rule;  // position and key unchanged: index stays valid
+      next_expiry_ = std::min(next_expiry_, rule.expires_at);
       return false;
     }
   }
@@ -27,25 +28,103 @@ bool FlowTable::install(FlowRule rule) {
                                    });
     rules_.erase(oldest);
     ++evictions_;
+    index_dirty_ = true;
   }
+  next_expiry_ = std::min(next_expiry_, rule.expires_at);
   // Insert keeping descending priority order (stable within a priority).
   auto pos = std::upper_bound(rules_.begin(), rules_.end(), rule.priority,
                               [](int prio, const FlowRule& r) {
                                 return prio > r.priority;
                               });
+  const bool at_back = pos == rules_.end();
   rules_.insert(pos, std::move(rule));
+  if (at_back && !index_dirty_) {
+    // Fast path for the reactive-install pattern (uniform priority): the
+    // new rule lands at the back, positions are stable, link it in place.
+    index_append(static_cast<std::uint32_t>(rules_.size() - 1));
+  } else {
+    index_dirty_ = true;  // positions shifted
+  }
   return true;
 }
 
-const FlowRule* FlowTable::lookup(const net::Packet& p, SimTime now) {
-  evict_expired(now);
-  for (FlowRule& r : rules_) {
-    if (r.match.matches(p)) {
-      ++r.match_count;
-      return &r;
+void FlowTable::index_append(std::uint32_t pos) {
+  const FlowRule& r = rules_[pos];
+  if (!r.match.tenant || !r.match.dst_mac) {
+    wildcard_positions_.push_back(pos);
+    return;
+  }
+  if (rules_.size() > buckets_.size() / 2) {
+    index_dirty_ = true;  // grow the bucket array at the next rebuild
+    return;
+  }
+  chain_.resize(rules_.size(), 0);
+  const std::size_t b = bucket_of(index_key(*r.match.tenant, *r.match.dst_mac));
+  chain_[pos] = buckets_[b];
+  buckets_[b] = pos + 1;
+}
+
+void FlowTable::rebuild_index() {
+  std::size_t want = 16;
+  while (want < rules_.size() * 2) want <<= 1;
+  if (buckets_.size() < want) {
+    buckets_.resize(want);
+  }
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  chain_.assign(rules_.size(), 0);
+  wildcard_positions_.clear();
+  next_expiry_ = kNoExpiry;
+  index_dirty_ = false;
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    const FlowRule& r = rules_[i];
+    next_expiry_ = std::min(next_expiry_, r.expires_at);
+    if (r.match.tenant && r.match.dst_mac) {
+      const std::size_t b =
+          bucket_of(index_key(*r.match.tenant, *r.match.dst_mac));
+      chain_[i] = buckets_[b];
+      buckets_[b] = i + 1;
+    } else {
+      wildcard_positions_.push_back(i);
     }
   }
-  return nullptr;
+}
+
+const FlowRule* FlowTable::lookup(const net::Packet& p, SimTime now) {
+  // Physical eviction is deferred until something can actually have
+  // expired: `next_expiry_` is a lower bound on the earliest expiry (TTL
+  // refreshes raise expiries without notifying the table, so the bound may
+  // fire early and sweep nothing — the rebuild then tightens it). The
+  // invariant of the old evict-on-every-lookup scheme is preserved: after
+  // lookup(now) returns, no rule with expires_at <= now remains.
+  if (now >= next_expiry_) {
+    std::erase_if(rules_,
+                  [now](const FlowRule& r) { return r.expires_at <= now; });
+    index_dirty_ = true;
+  }
+  if (index_dirty_) rebuild_index();
+
+  // The winner under the sequential scan this replaces is the first match
+  // in descending-priority (then insertion) order == the lowest position.
+  std::uint32_t best = kNoPosition;
+  if (!buckets_.empty()) {
+    for (std::uint32_t pos1 = buckets_[bucket_of(index_key(p.tenant,
+                                                           p.dst_mac))];
+         pos1 != 0; pos1 = chain_[pos1 - 1]) {
+      const std::uint32_t i = pos1 - 1;
+      if (i < best && rules_[i].match.matches(p)) best = i;
+    }
+  }
+  for (const std::uint32_t i : wildcard_positions_) {
+    if (i >= best) break;  // positions ascend; can't beat the current best
+    if (rules_[i].match.matches(p)) {
+      best = i;
+      break;
+    }
+  }
+  if (best == kNoPosition) return nullptr;
+  FlowRule& r = rules_[best];
+  ++r.match_count;
+  return &r;
 }
 
 std::uint64_t FlowTable::total_matches() const noexcept {
@@ -59,12 +138,8 @@ std::size_t FlowTable::remove_rules_for_destination(MacAddress dst) {
   std::erase_if(rules_, [dst](const FlowRule& r) {
     return r.match.dst_mac && *r.match.dst_mac == dst;
   });
+  if (rules_.size() != before) index_dirty_ = true;
   return before - rules_.size();
-}
-
-void FlowTable::evict_expired(SimTime now) {
-  std::erase_if(rules_,
-                [now](const FlowRule& r) { return r.expires_at <= now; });
 }
 
 }  // namespace lazyctrl::openflow

@@ -8,6 +8,7 @@
 // an optional capacity with LRU-ish eviction of the oldest rule.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -70,13 +71,23 @@ class FlowTable {
   bool install(FlowRule rule);
 
   /// Highest-priority live rule matching `p`, or nullptr. Expired rules are
-  /// lazily removed.
+  /// lazily removed. The hot path is O(1): rules whose match pins both
+  /// tenant and destination (every reactively installed rule) live in a
+  /// hash index keyed on (tenant, dst); only genuinely wildcarded rules
+  /// fall back to the priority-ordered scan.
   [[nodiscard]] const FlowRule* lookup(const net::Packet& p, SimTime now);
 
   /// Removes all rules whose match exactly targets `dst` as destination.
   std::size_t remove_rules_for_destination(MacAddress dst);
 
-  void clear() noexcept { rules_.clear(); }
+  void clear() noexcept {
+    rules_.clear();
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    chain_.clear();
+    wildcard_positions_.clear();
+    index_dirty_ = false;
+    next_expiry_ = kNoExpiry;
+  }
   [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t eviction_count() const noexcept {
@@ -90,11 +101,43 @@ class FlowTable {
   [[nodiscard]] std::uint64_t total_matches() const noexcept;
 
  private:
-  void evict_expired(SimTime now);
+  static constexpr std::uint32_t kNoPosition =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Composite key for the exact-match index. Distinct (tenant, dst) pairs
+  /// may collide in principle (tenant ids above 2^16 fold into MAC bits);
+  /// candidates are re-checked with Match::matches, so collisions only
+  /// cost a wasted probe.
+  [[nodiscard]] static std::uint64_t index_key(TenantId tenant,
+                                               MacAddress dst) noexcept {
+    return (static_cast<std::uint64_t>(tenant.value()) << 48) ^ dst.bits();
+  }
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t key) const noexcept {
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(key ^ (key >> 31)) &
+           (buckets_.size() - 1);
+  }
+
+  void rebuild_index();
+  void index_append(std::uint32_t pos);
 
   std::size_t capacity_;
   std::uint64_t evictions_ = 0;
   std::vector<FlowRule> rules_;  // kept sorted by descending priority
+
+  // Exact-match index over rules that pin (tenant, dst): an open-addressed
+  // bucket array chaining rule positions through `chain_`. All storage is
+  // plain vectors, so a rebuild after an eviction sweep is one O(n) pass
+  // with zero allocation once capacity is warm; the common install (equal
+  // priority, appended at the back) links into its bucket incrementally.
+  std::vector<std::uint32_t> buckets_;  ///< head position + 1; 0 = empty
+  std::vector<std::uint32_t> chain_;    ///< chain_[pos] = next position + 1
+  /// Positions of rules whose match wildcards tenant or dst (ascending).
+  std::vector<std::uint32_t> wildcard_positions_;
+  bool index_dirty_ = false;
+  /// Lower bound on the earliest rule expiry; gates the physical sweep.
+  SimTime next_expiry_ = kNoExpiry;
 };
 
 }  // namespace lazyctrl::openflow

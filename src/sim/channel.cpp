@@ -12,4 +12,17 @@ bool Channel::deliver(std::function<void()> on_delivery) {
   return true;
 }
 
+bool Channel::deliver_batch(std::size_t count,
+                            std::function<void(std::size_t)> on_delivery) {
+  if (count == 0) return true;
+  if (!up_) {
+    dropped_ += count;
+    return false;
+  }
+  delivered_ += count;
+  simulator_->schedule_after(
+      latency_, [count, cb = std::move(on_delivery)] { cb(count); });
+  return true;
+}
+
 }  // namespace lazyctrl::sim

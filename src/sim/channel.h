@@ -4,6 +4,7 @@
 // channels with a fixed one-way latency and an up/down state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -20,6 +21,18 @@ class Channel {
   /// Delivers `on_delivery` after the channel latency. Returns false (and
   /// drops the message, counting it) when the channel is down.
   bool deliver(std::function<void()> on_delivery);
+
+  /// Delivers a batch of `count` messages as ONE scheduled event firing
+  /// after the channel latency: `on_delivery(count)` runs once and the
+  /// delivered counter advances by `count` — one queue push/pop and one
+  /// callback allocation amortised over the whole batch instead of per
+  /// message. (core::Network currently models controller punts
+  /// arithmetically rather than through channels, so this is the sim-layer
+  /// batching primitive for channel-driven components.) Returns false and
+  /// drops all `count` messages when the channel is down. A zero-count
+  /// batch is a no-op returning true.
+  bool deliver_batch(std::size_t count,
+                     std::function<void(std::size_t)> on_delivery);
 
   void set_up(bool up) noexcept { up_ = up; }
   [[nodiscard]] bool is_up() const noexcept { return up_; }

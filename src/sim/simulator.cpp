@@ -46,6 +46,15 @@ void Simulator::dispatch(const Event& e) {
   }
 }
 
+SimTime Simulator::next_event_time() {
+  // Drain cancelled carcasses so the head is a live event.
+  while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+  return queue_.empty() ? kNoPendingEvent : queue_.top().time;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   const Event e = queue_.top();

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -56,6 +57,16 @@ class Simulator {
 
   /// Executes at most one pending event. Returns false if queue is empty.
   bool step();
+
+  /// Timestamp of the next live (non-cancelled) event, or `kNoPendingEvent`
+  /// when the queue is empty. Cancelled carcasses at the head are drained
+  /// lazily. The batched datapath uses this as its safety fence: a flow
+  /// batch may only extend while every flow in it starts strictly before
+  /// the next scheduled event, which keeps batched runs bit-identical to
+  /// single-event-per-flow runs.
+  static constexpr SimTime kNoPendingEvent =
+      std::numeric_limits<SimTime>::max();
+  [[nodiscard]] SimTime next_event_time();
 
   [[nodiscard]] std::uint64_t processed_events() const noexcept {
     return processed_;

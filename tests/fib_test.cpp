@@ -43,6 +43,44 @@ TEST(LFibTest, LookupMissing) {
   EXPECT_FALSE(fib.lookup(MacAddress::for_host(9)).has_value());
 }
 
+TEST(LFibTest, SurvivesGrowthAndChurn) {
+  // Exercises the open-addressing table across many grow cycles and the
+  // backward-shift deletion across long probe chains: every element must
+  // stay reachable after arbitrary interleaved insert/erase.
+  LFib fib;
+  constexpr std::uint32_t kHosts = 5000;
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    EXPECT_TRUE(fib.learn(MacAddress::for_host(i), HostId{i}, TenantId{0}));
+  }
+  EXPECT_EQ(fib.size(), kHosts);
+  // Forget every third entry...
+  for (std::uint32_t i = 0; i < kHosts; i += 3) {
+    EXPECT_TRUE(fib.forget(MacAddress::for_host(i)));
+  }
+  // ...then verify the survivors and the holes.
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    EXPECT_EQ(fib.contains(MacAddress::for_host(i)), i % 3 != 0) << i;
+  }
+  // Re-learn the holes; everything must resolve to the right entry.
+  for (std::uint32_t i = 0; i < kHosts; i += 3) {
+    EXPECT_TRUE(fib.learn(MacAddress::for_host(i), HostId{i}, TenantId{7}));
+  }
+  EXPECT_EQ(fib.size(), kHosts);
+  EXPECT_EQ(fib.lookup(MacAddress::for_host(3))->tenant, TenantId{7});
+  EXPECT_EQ(fib.lookup(MacAddress::for_host(4))->tenant, TenantId{0});
+  EXPECT_EQ(fib.macs().size(), kHosts);
+}
+
+TEST(LFibTest, AllZeroMacIsAValidKey) {
+  LFib fib;
+  const MacAddress zero{0};
+  EXPECT_TRUE(fib.learn(zero, HostId{42}, TenantId{1}));
+  ASSERT_TRUE(fib.contains(zero));
+  EXPECT_EQ(fib.lookup(zero)->host, HostId{42});
+  EXPECT_TRUE(fib.forget(zero));
+  EXPECT_FALSE(fib.contains(zero));
+}
+
 TEST(GFibTest, QueryFindsOwningPeerOnly) {
   GFib gfib(BloomParameters{16384, 8});
   gfib.sync_peer(SwitchId{1}, {MacAddress::for_host(10)});

@@ -1,0 +1,132 @@
+// Tests for the benchmark harness JSON pipeline: the document emitted by
+// run_benchmark (via render_bench_json) must satisfy validate_bench_json,
+// and the validator must reject the malformed shapes CI guards against.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "harness.h"
+
+namespace lazyctrl::benchx {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.throughput("throughput_flows_per_sec", 1.5e6);
+  r.throughput("throughput_flows_per_sec", 1.7e6);  // second repetition
+  r.latency_ms("p50_latency_ms", 0.42);
+  r.latency_ms("p99_latency_ms", 3.1);
+  r.controller_load("packet_ins", 1234);
+  r.memory_bytes("gfib_total_bytes", 92160);
+  return r;
+}
+
+std::string sample_json() {
+  return render_bench_json("unit_test", "Unit test bench",
+                           "no figure — schema round trip", 2, 1, 0.125, 0,
+                           sample_report());
+}
+
+TEST(HarnessJsonTest, EmittedDocumentValidates) {
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(sample_json(), &error)) << error;
+}
+
+TEST(HarnessJsonTest, MedianOfSamplesIsReported) {
+  // Two samples -> median is their midpoint; it must appear as "value".
+  const std::string doc = sample_json();
+  EXPECT_NE(doc.find("\"samples\": [1500000, 1700000]"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"value\": 1600000"), std::string::npos) << doc;
+}
+
+TEST(HarnessJsonTest, EscapesStrings) {
+  BenchReport r;
+  r.metric("key", 1.0, "unit");
+  const std::string doc = render_bench_json(
+      "name", "title with \"quotes\" and \\backslash\nnewline", "ref", 1, 0,
+      0.0, 0, r);
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(doc, &error)) << error;
+}
+
+TEST(HarnessJsonTest, EmptyMetricsStillValidates) {
+  const std::string doc =
+      render_bench_json("empty", "t", "r", 1, 0, 0.0, 0, BenchReport{});
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(doc, &error)) << error;
+}
+
+TEST(HarnessJsonTest, NonFiniteValuesAreSanitised) {
+  BenchReport r;
+  r.metric("bad", std::numeric_limits<double>::infinity(), "x");
+  const std::string doc =
+      render_bench_json("inf", "t", "r", 1, 0, 0.0, 0, r);
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(doc, &error)) << error;
+  EXPECT_EQ(doc.find("inf,"), std::string::npos);
+}
+
+TEST(HarnessJsonTest, RejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(validate_bench_json("{\"schema_version\": 1,", &error));
+  EXPECT_FALSE(validate_bench_json("", &error));
+  EXPECT_FALSE(validate_bench_json("[]", &error));
+  EXPECT_FALSE(validate_bench_json("{} trailing", &error));
+}
+
+TEST(HarnessJsonTest, RejectsWrongSchemaVersion) {
+  std::string doc = sample_json();
+  const auto pos = doc.find("\"schema_version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, std::string("\"schema_version\": 1").size(),
+              "\"schema_version\": 999");
+  std::string error;
+  EXPECT_FALSE(validate_bench_json(doc, &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
+}
+
+TEST(HarnessJsonTest, RejectsMissingRequiredKey) {
+  std::string doc = sample_json();
+  const auto pos = doc.find("\"paper_reference\"");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, std::string("\"paper_reference\"").size(),
+              "\"renamed_key\"");
+  std::string error;
+  EXPECT_FALSE(validate_bench_json(doc, &error));
+  EXPECT_NE(error.find("paper_reference"), std::string::npos);
+}
+
+TEST(HarnessJsonTest, RejectsMetricWithoutSamples) {
+  const std::string doc = R"({
+    "schema_version": 1, "name": "x", "title": "t", "paper_reference": "r",
+    "flow_scale_divisor": 1000, "bench_scale": 1, "repetitions": 1,
+    "warmup": 0, "wall_seconds_median": 0, "exit_status": 0,
+    "metrics": {"m": {"value": 1, "unit": "x", "samples": []}}
+  })";
+  std::string error;
+  EXPECT_FALSE(validate_bench_json(doc, &error));
+  EXPECT_NE(error.find("samples"), std::string::npos);
+}
+
+TEST(HarnessJsonTest, RejectsZeroRepetitions) {
+  const std::string doc = R"({
+    "schema_version": 1, "name": "x", "title": "t", "paper_reference": "r",
+    "flow_scale_divisor": 1000, "bench_scale": 1, "repetitions": 0,
+    "warmup": 0, "wall_seconds_median": 0, "exit_status": 0, "metrics": {}
+  })";
+  std::string error;
+  EXPECT_FALSE(validate_bench_json(doc, &error));
+}
+
+TEST(HarnessSlugTest, SlugifyNormalisesLabels) {
+  EXPECT_EQ(slugify("Syn-A"), "syn_a");
+  EXPECT_EQ(slugify("patient ctrl, weak switches"),
+            "patient_ctrl_weak_switches");
+  EXPECT_EQ(slugify("  trims  edges  "), "trims_edges");
+  EXPECT_EQ(slugify("Already_Fine123"), "already_fine123");
+}
+
+}  // namespace
+}  // namespace lazyctrl::benchx

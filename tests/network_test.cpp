@@ -369,5 +369,91 @@ TEST(NetworkTest, DeterministicReplay) {
             b.metrics().grouping_update_count);
 }
 
+// The core guarantee of the batched datapath: batched and single-packet
+// replay must produce IDENTICAL forwarding decisions and metrics — the
+// batch fence (Simulator::next_event_time) and the in-batch install
+// staleness check exist exactly for this.
+void expect_identical_metrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.flows_seen, b.flows_seen);
+  EXPECT_EQ(a.packets_accounted, b.packets_accounted);
+  EXPECT_EQ(a.controller_packet_ins, b.controller_packet_ins);
+  EXPECT_EQ(a.flows_local_delivery, b.flows_local_delivery);
+  EXPECT_EQ(a.flows_intra_group, b.flows_intra_group);
+  EXPECT_EQ(a.flows_inter_group, b.flows_inter_group);
+  EXPECT_EQ(a.flows_flow_table_hit, b.flows_flow_table_hit);
+  EXPECT_EQ(a.bf_false_positive_copies, b.bf_false_positive_copies);
+  EXPECT_EQ(a.grouping_update_count, b.grouping_update_count);
+  EXPECT_EQ(a.transition_punts, b.transition_punts);
+  EXPECT_DOUBLE_EQ(a.first_packet_latency_ms.mean(),
+                   b.first_packet_latency_ms.mean());
+  EXPECT_DOUBLE_EQ(a.controller_queue_delay_ms.mean(),
+                   b.controller_queue_delay_ms.mean());
+}
+
+TEST(NetworkBatchTest, BatchedReplayIdenticalToSinglePacket) {
+  auto topo = test_topology(21);
+  auto trace = test_trace(topo, 8000, 22);
+  const auto history = workload::build_intensity_graph(trace, topo);
+
+  for (const bool dynamic : {false, true}) {
+    Config single_cfg = lazy_config(6);
+    single_cfg.grouping.dynamic_regrouping = dynamic;
+    single_cfg.batching.flow_batch_size = 1;
+    Config batched_cfg = single_cfg;
+    batched_cfg.batching.flow_batch_size = 64;
+
+    Network single(topo, single_cfg);
+    single.bootstrap(history);
+    single.replay(trace);
+    Network batched(topo, batched_cfg);
+    batched.bootstrap(history);
+    batched.replay(trace);
+    expect_identical_metrics(single.metrics(), batched.metrics());
+  }
+}
+
+TEST(NetworkBatchTest, BatchedOpenFlowIdenticalToSinglePacket) {
+  auto topo = test_topology(23);
+  auto trace = test_trace(topo, 8000, 24);
+
+  Config single_cfg = openflow_config();
+  single_cfg.batching.flow_batch_size = 1;
+  Config batched_cfg = single_cfg;
+  batched_cfg.batching.flow_batch_size = 32;
+
+  Network single(topo, single_cfg);
+  single.bootstrap();
+  single.replay(trace);
+  Network batched(topo, batched_cfg);
+  batched.bootstrap();
+  batched.replay(trace);
+  expect_identical_metrics(single.metrics(), batched.metrics());
+}
+
+TEST(NetworkBatchTest, BatchedReplayIdenticalUnderDgmAndMigration) {
+  // The stress case for the batch fence: DGM maintenance events, stats
+  // windows and a mid-replay migration all interleave with flow batches.
+  auto topo = test_topology(25);
+  auto trace = test_trace(topo, 8000, 26);
+  const auto history = workload::build_intensity_graph(trace, topo);
+  const HostId moved = topo.hosts()[0].id;
+
+  auto run = [&](std::size_t batch) {
+    Config cfg = lazy_config(6);
+    cfg.dgm.mode = DgmMode::kPeriodic;
+    cfg.dgm.maintenance_period = 10 * kMinute;
+    cfg.batching.flow_batch_size = batch;
+    Network net(topo, cfg);
+    net.bootstrap(history);
+    net.schedule_migration(moved, SwitchId{5}, kHour);
+    net.replay(trace);
+    return net.metrics();
+  };
+
+  const RunMetrics single = run(1);
+  const RunMetrics batched = run(64);
+  expect_identical_metrics(single, batched);
+}
+
 }  // namespace
 }  // namespace lazyctrl::core
