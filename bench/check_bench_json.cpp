@@ -9,13 +9,43 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness.h"
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Per-bench required metric keys, beyond the generic schema: these are
+/// the acceptance-bearing series CI tracks across PRs, so a rename or a
+/// silently dropped metric fails the gate instead of going unnoticed.
+const std::map<std::string, std::vector<std::string>>& required_metrics() {
+  static const std::map<std::string, std::vector<std::string>> kRequired = {
+      {"parallel_scaling",
+       {"throughput_baseline_flows_per_sec",
+        "throughput_fast_8shard_flows_per_sec",
+        "throughput_deterministic_8shard_flows_per_sec",
+        "speedup_fast_8shard", "deterministic_bit_identical", "cpu_cores"}},
+      {"micro_datapath",
+       {"throughput_batched_flows_per_sec", "batched_speedup"}},
+  };
+  return kRequired;
+}
+
+/// True when the document carries a metric named `key`. Matches the
+/// harness emitter's exact metric-entry shape — `"key": {"value"` — so a
+/// key quoted in free-text fields (title, paper_reference) or embedded in
+/// another metric's name cannot satisfy the gate.
+bool has_metric(const std::string& json_text, const std::string& key) {
+  return json_text.find("\"" + key + "\": {\"value\"") != std::string::npos;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -45,9 +75,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "INVALID %s: %s\n", file.c_str(), error.c_str());
       ++bad;
     } else {
+      const std::string name =
+          file.substr(6, file.size() - 6 - 5);  // strip BENCH_ and .json
+      bool complete = true;
+      if (const auto it = required_metrics().find(name);
+          it != required_metrics().end()) {
+        for (const std::string& key : it->second) {
+          if (!has_metric(buf.str(), key)) {
+            std::fprintf(stderr, "INVALID %s: required metric \"%s\" missing\n",
+                         file.c_str(), key.c_str());
+            complete = false;
+          }
+        }
+      }
+      if (!complete) {
+        ++bad;
+        continue;
+      }
       std::printf("ok      %s\n", file.c_str());
-      found.insert(
-          file.substr(6, file.size() - 6 - 5));  // strip BENCH_ and .json
+      found.insert(name);
     }
   }
 

@@ -48,4 +48,17 @@ double Rng::next_exponential(double mean) noexcept {
 
 Rng Rng::fork() noexcept { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t stream_id) noexcept {
+  // Two SplitMix64 finalizer passes over (seed, stream) — the same mixing
+  // quality as drawing from a generator seeded with the pair, without
+  // perturbing any live generator's position.
+  std::uint64_t z = master_seed + (stream_id + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace lazyctrl

@@ -4,6 +4,18 @@
 // designated-switch election) flows through Rng so that a run is fully
 // reproducible from a single seed. The core generator is SplitMix64: tiny,
 // fast, and statistically adequate for simulation workloads.
+//
+// Thread-safety contract (audited for the sharded runtime): an Rng
+// instance is mutable state and is NOT thread-safe; every thread must own
+// its generator. No component in this library holds process-global or
+// std::mt19937 hidden RNG state — the topology builder, the workload
+// generators and the graph partitioner all draw from a caller-owned
+// `Rng&`, and nothing draws randomness on a shard worker thread today
+// (the parallel replay datapath is fully deterministic). Concurrent
+// contexts that DO need randomness must derive a disjoint generator from
+// the one master `Config.seed` via `Rng::stream` — each runtime shard
+// already owns such a stream — so parallel runs stay reproducible from a
+// single seed.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +26,14 @@ namespace lazyctrl {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Derives the `stream_id`-th decorrelated stream of `master_seed`:
+  /// deterministic, and independent of how many values any other stream
+  /// has consumed (unlike fork(), which depends on this stream's
+  /// position). Distinct (master_seed, stream_id) pairs land in unrelated
+  /// regions of the SplitMix64 sequence.
+  static Rng stream(std::uint64_t master_seed,
+                    std::uint64_t stream_id) noexcept;
 
   /// Next raw 64-bit value (SplitMix64 step).
   std::uint64_t next_u64() noexcept;

@@ -17,6 +17,21 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
+  /// Folds another accumulator in (Chan et al. pairwise combination), as
+  /// if every sample of `other` had been add()ed here. Exact for count,
+  /// min, max and sum; mean/variance combine by the parallel Welford
+  /// update, so the result can differ from the sequential interleaving by
+  /// floating-point rounding only.
+  void merge_from(const RunningStats& other) noexcept;
+
+  /// Bit-exact equality of every accumulated moment (count, mean, M2,
+  /// min, max, sum) — the bar the deterministic sharded replay is held
+  /// to.
+  [[nodiscard]] bool identical_to(const RunningStats& o) const noexcept {
+    return count_ == o.count_ && mean_ == o.mean_ && m2_ == o.m2_ &&
+           min_ == o.min_ && max_ == o.max_ && sum_ == o.sum_;
+  }
+
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
   [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
@@ -67,6 +82,27 @@ class TimeBucketSeries {
     }
     buckets_[idx].sum += value * static_cast<double>(count);
     buckets_[idx].events += count;
+  }
+
+  /// Bucket-wise accumulation of `other` into this series. Requires
+  /// identical geometry (width and bucket count) — the per-shard metrics
+  /// of the sharded runtime are constructed from one horizon, so merging
+  /// them is exact.
+  void merge_from(const TimeBucketSeries& other);
+
+  /// Bit-exact equality: same geometry and identical sum/event pairs in
+  /// every bucket.
+  [[nodiscard]] bool identical_to(const TimeBucketSeries& o) const noexcept {
+    if (width_ != o.width_ || buckets_.size() != o.buckets_.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].sum != o.buckets_[i].sum ||
+          buckets_[i].events != o.buckets_[i].events) {
+        return false;
+      }
+    }
+    return true;
   }
 
   [[nodiscard]] std::size_t bucket_count() const noexcept {

@@ -137,6 +137,44 @@ struct BatchConfig {
   std::size_t flow_batch_size = 64;
 };
 
+/// Sharded parallel replay (the src/runtime subsystem): partitions the
+/// network by edge group into shards, each driven by its own worker
+/// thread, synchronized at bounded-lag windows.
+enum class RuntimeMode {
+  /// Barrier at every lag window + stable merge order: metrics are
+  /// bit-identical to the single-threaded Network::replay (enforced by
+  /// tests/runtime_test.cpp). Parallelism covers the per-switch decide
+  /// pipeline; all side effects commit on the coordinator in global flow
+  /// order.
+  kDeterministic,
+  /// Lax synchronization for throughput: shards decide AND handle their
+  /// local flows into per-shard metrics; only controller-bound flows
+  /// cross to the coordinator (via arena-backed SPSC mailboxes) at window
+  /// boundaries. Still reproducible run-to-run from Config.seed, but not
+  /// bit-identical to sequential replay — controller interleaving may
+  /// differ by up to one sync window.
+  kFast,
+};
+
+struct RuntimeConfig {
+  /// Number of replay shards. 1 = the classic single-threaded datapath
+  /// (no worker threads); > 1 makes Network::replay delegate to
+  /// runtime::ShardedRuntime. Effective shard count is clamped to the
+  /// number of groups (or switches when ungrouped).
+  std::size_t num_shards = 1;
+  /// Bounded-lag synchronization window (simulated time). Shards may run
+  /// at most this far ahead of each other between barriers; 0 derives the
+  /// conservative default from the minimum cross-shard channel latency:
+  /// 2 x control_link + controller_service, the soonest a flow's control
+  /// side effect can land back at any switch — deferring cross-shard
+  /// visibility within that window matches what the channels could have
+  /// delivered anyway. Deterministic mode repairs ordering exactly at the
+  /// merge, so there a larger window only trades barrier frequency for
+  /// scratch memory.
+  SimDuration sync_window = 0;
+  RuntimeMode mode = RuntimeMode::kDeterministic;
+};
+
 /// Full configuration of a run; every subsystem documents its own knobs
 /// above and the README's "Configuration" section summarises them.
 struct Config {
@@ -156,6 +194,8 @@ struct Config {
   RuleConfig rules;
   /// Batched hot-path datapath (flow batching in replay()).
   BatchConfig batching;
+  /// Sharded parallel replay (src/runtime); 1 shard = single-threaded.
+  RuntimeConfig runtime;
   /// Designated switches report aggregated state this often (state link).
   SimDuration state_report_period = 30 * kSecond;
   /// Enable the per-group failure-detection wheel (keep-alive machinery);

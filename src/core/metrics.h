@@ -9,6 +9,12 @@
 
 namespace lazyctrl::core {
 
+// ADDING A FIELD? Also extend merge_from() AND identical_to() at the
+// bottom of this struct — fast-mode sharded replay folds per-shard
+// records through the former (a field missing there is silently
+// under-reported in parallel runs only), and the deterministic mode's
+// bit-identity gate compares through the latter (a field missing there
+// is silently un-checked).
 struct RunMetrics {
   explicit RunMetrics(SimDuration horizon)
       : controller_requests(kHour, horizon),
@@ -58,6 +64,80 @@ struct RunMetrics {
   RunningStats first_packet_latency_ms;
   /// Controller queueing delay per request, milliseconds.
   RunningStats controller_queue_delay_ms;
+
+  /// Accumulates `other` into this record, as if both had been collected
+  /// into one: counters add, time series merge bucket-wise (identical
+  /// geometry required), RunningStats combine pairwise. The sharded
+  /// runtime's fast mode folds each shard's local metrics into the run
+  /// metrics with this at the end of replay.
+  void merge_from(const RunMetrics& other) {
+    controller_requests.merge_from(other.controller_requests);
+    packet_latency.merge_from(other.packet_latency);
+    grouping_updates.merge_from(other.grouping_updates);
+    flow_arrivals.merge_from(other.flow_arrivals);
+    inter_group_arrivals.merge_from(other.inter_group_arrivals);
+
+    flows_seen += other.flows_seen;
+    packets_accounted += other.packets_accounted;
+    controller_packet_ins += other.controller_packet_ins;
+    flows_local_delivery += other.flows_local_delivery;
+    flows_intra_group += other.flows_intra_group;
+    flows_inter_group += other.flows_inter_group;
+    flows_flow_table_hit += other.flows_flow_table_hit;
+    bf_false_positive_copies += other.bf_false_positive_copies;
+    bf_misforward_drops += other.bf_misforward_drops;
+    peer_link_messages += other.peer_link_messages;
+    state_link_messages += other.state_link_messages;
+    control_link_messages += other.control_link_messages;
+    grouping_update_count += other.grouping_update_count;
+    preload_rules_installed += other.preload_rules_installed;
+    transition_punts += other.transition_punts;
+
+    dgm_rounds += other.dgm_rounds;
+    dgm_plans_applied += other.dgm_plans_applied;
+    dgm_switch_moves += other.dgm_switch_moves;
+    dgm_group_merges += other.dgm_group_merges;
+    dgm_group_splits += other.dgm_group_splits;
+    dgm_flow_mods += other.dgm_flow_mods;
+
+    first_packet_latency_ms.merge_from(other.first_packet_latency_ms);
+    controller_queue_delay_ms.merge_from(other.controller_queue_delay_ms);
+  }
+
+  /// Bit-exact equality of EVERY field — the single definition of the
+  /// deterministic sharded-replay acceptance check; the runtime tests and
+  /// bench_parallel_scaling's gate both compare through this.
+  [[nodiscard]] bool identical_to(const RunMetrics& o) const {
+    return controller_requests.identical_to(o.controller_requests) &&
+           packet_latency.identical_to(o.packet_latency) &&
+           grouping_updates.identical_to(o.grouping_updates) &&
+           flow_arrivals.identical_to(o.flow_arrivals) &&
+           inter_group_arrivals.identical_to(o.inter_group_arrivals) &&
+           flows_seen == o.flows_seen &&
+           packets_accounted == o.packets_accounted &&
+           controller_packet_ins == o.controller_packet_ins &&
+           flows_local_delivery == o.flows_local_delivery &&
+           flows_intra_group == o.flows_intra_group &&
+           flows_inter_group == o.flows_inter_group &&
+           flows_flow_table_hit == o.flows_flow_table_hit &&
+           bf_false_positive_copies == o.bf_false_positive_copies &&
+           bf_misforward_drops == o.bf_misforward_drops &&
+           peer_link_messages == o.peer_link_messages &&
+           state_link_messages == o.state_link_messages &&
+           control_link_messages == o.control_link_messages &&
+           grouping_update_count == o.grouping_update_count &&
+           preload_rules_installed == o.preload_rules_installed &&
+           transition_punts == o.transition_punts &&
+           dgm_rounds == o.dgm_rounds &&
+           dgm_plans_applied == o.dgm_plans_applied &&
+           dgm_switch_moves == o.dgm_switch_moves &&
+           dgm_group_merges == o.dgm_group_merges &&
+           dgm_group_splits == o.dgm_group_splits &&
+           dgm_flow_mods == o.dgm_flow_mods &&
+           first_packet_latency_ms.identical_to(o.first_packet_latency_ms) &&
+           controller_queue_delay_ms.identical_to(
+               o.controller_queue_delay_ms);
+  }
 };
 
 }  // namespace lazyctrl::core

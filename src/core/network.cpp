@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "net/packet.h"
+#include "runtime/sharded_runtime.h"
 
 namespace lazyctrl::core {
 
@@ -144,6 +145,7 @@ void Network::apply_grouping(Grouping grouping, bool initial,
   }
 
   const SimTime now = simulator_.now();
+  ++grouping_epoch_;
   for (std::size_t gi = 0; gi < members.size(); ++gi) {
     for (SwitchId m : members[gi]) {
       switches_[m.value()]->set_group(GroupId{static_cast<std::uint32_t>(gi)});
@@ -241,6 +243,9 @@ void Network::install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
   if (active_batch_ != nullptr) {
     active_batch_->installs.push_back(rule.match);
   }
+  if (span_install_log_ != nullptr) {
+    (*span_install_log_)[sw.id().value()].push_back(rule.match);
+  }
   if (dst_sw == sw.id()) {
     rule.action.type = openflow::ActionType::kForwardLocal;
   } else {
@@ -255,15 +260,28 @@ void Network::install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
 
 void Network::account_flow_latency(const workload::Flow& flow,
                                    SimDuration first_packet,
-                                   SimDuration steady_packet) {
-  metrics_->first_packet_latency_ms.add(to_milliseconds(first_packet));
-  metrics_->packet_latency.add(flow.start, to_milliseconds(first_packet));
+                                   SimDuration steady_packet, RunMetrics& m) {
+  m.first_packet_latency_ms.add(to_milliseconds(first_packet));
+  m.packet_latency.add(flow.start, to_milliseconds(first_packet));
   if (flow.packets > 1) {
-    metrics_->packet_latency.add_n(flow.start,
-                                   to_milliseconds(steady_packet),
-                                   flow.packets - 1);
+    m.packet_latency.add_n(flow.start, to_milliseconds(steady_packet),
+                           flow.packets - 1);
   }
-  metrics_->packets_accounted += flow.packets;
+  m.packets_accounted += flow.packets;
+}
+
+net::Packet Network::make_flow_packet(const topo::HostInfo& src,
+                                      const topo::HostInfo& dst,
+                                      const workload::Flow& flow) noexcept {
+  net::Packet pkt;
+  pkt.kind = net::PacketKind::kData;
+  pkt.src_mac = src.mac;
+  pkt.dst_mac = dst.mac;
+  pkt.tenant = src.tenant;
+  pkt.payload_bytes = flow.avg_packet_bytes;
+  pkt.flow_id = flow.id;
+  pkt.created_at = flow.start;
+  return pkt;
 }
 
 void Network::on_flow(const workload::Flow& flow) {
@@ -274,14 +292,7 @@ void Network::on_flow(const workload::Flow& flow) {
   const SwitchId src_sw = src.attached_switch;
   const SwitchId dst_sw = dst.attached_switch;
 
-  net::Packet pkt;
-  pkt.kind = net::PacketKind::kData;
-  pkt.src_mac = src.mac;
-  pkt.dst_mac = dst.mac;
-  pkt.tenant = src.tenant;
-  pkt.payload_bytes = flow.avg_packet_bytes;
-  pkt.flow_id = flow.id;
-  pkt.created_at = flow.start;
+  const net::Packet pkt = make_flow_packet(src, dst, flow);
 
   if (src_sw != dst_sw) {
     switches_[src_sw.value()]->record_new_flow_to(dst_sw);
@@ -310,16 +321,7 @@ void Network::on_flow_batch(const std::vector<workload::Flow>& flows,
     metrics_->flow_arrivals.add_event(flow.start);
     const topo::HostInfo& src = topology_.host_info(flow.src);
     const topo::HostInfo& dst = topology_.host_info(flow.dst);
-
-    net::Packet pkt;
-    pkt.kind = net::PacketKind::kData;
-    pkt.src_mac = src.mac;
-    pkt.dst_mac = dst.mac;
-    pkt.tenant = src.tenant;
-    pkt.payload_bytes = flow.avg_packet_bytes;
-    pkt.flow_id = flow.id;
-    pkt.created_at = flow.start;
-    b.packets.emplace_back(pkt);
+    b.packets.emplace_back(make_flow_packet(src, dst, flow));
 
     BatchScratch::FlowMeta m{src.attached_switch, dst.attached_switch, false};
     if (m.src_sw != m.dst_sw) {
@@ -349,7 +351,8 @@ void Network::on_flow_batch(const std::vector<workload::Flow>& flows,
     if (head.transition_special) {
       const bool handled = handle_transition_flow(flows[begin + k],
                                                   head.src_sw, head.dst_sw,
-                                                  b.packets[k]);
+                                                  b.packets[k], *metrics_,
+                                                  nullptr);
       (void)handled;
       assert(handled && "transition window cannot close mid-batch");
       ++k;
@@ -392,9 +395,11 @@ void Network::on_flow_batch(const std::vector<workload::Flow>& flows,
         view = DecisionView{d.kind, b.decisions.candidates(d)};
       }
       if (config_.mode == ControlMode::kOpenFlow) {
-        process_openflow_decision(flow, m.src_sw, m.dst_sw, pkt, view);
+        process_openflow_decision(flow, m.src_sw, m.dst_sw, pkt, view,
+                                  *metrics_, nullptr);
       } else {
-        process_lazyctrl_decision(flow, m.src_sw, m.dst_sw, pkt, view);
+        process_lazyctrl_decision(flow, m.src_sw, m.dst_sw, pkt, view,
+                                  *metrics_, nullptr);
       }
     }
     k = run_end;
@@ -409,56 +414,55 @@ void Network::handle_flow_openflow(const workload::Flow& flow,
       switches_[src_sw.value()]->decide(pkt, flow.start,
                                         ControlMode::kOpenFlow);
   process_openflow_decision(flow, src_sw, dst_sw, pkt,
-                            DecisionView{d.kind, d.candidates});
+                            DecisionView{d.kind, d.candidates}, *metrics_,
+                            nullptr);
 }
 
 void Network::process_openflow_decision(const workload::Flow& flow,
                                         SwitchId src_sw, SwitchId dst_sw,
                                         const net::Packet& pkt,
-                                        const DecisionView& d) {
-  const SimTime now = flow.start;
-  const LatencyModel& lat = config_.latency;
-  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
-  const SimDuration cross_path =
-      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
-  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
+                                        const DecisionView& d, RunMetrics& m,
+                                        ControllerDefer* defer) {
+  const SimDuration steady = path_delays().steady(src_sw, dst_sw);
 
   if (d.kind == EdgeSwitch::DecisionKind::kFlowTableHit) {
-    ++metrics_->flows_flow_table_hit;
-    account_flow_latency(flow, steady, steady);
+    ++m.flows_flow_table_hit;
+    account_flow_latency(flow, steady, steady, m);
     return;
   }
   // Every miss is a PacketIn; the controller resolves via C-LIB and
   // installs an exact-match rule (Floodlight learning-switch behaviour).
-  const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
-  install_reactive_rule(*switches_[src_sw.value()], pkt, dst_sw,
-                        /*exact_match=*/true, now);
-  account_flow_latency(flow, steady + ctrl, steady);
+  if (defer != nullptr &&
+      defer->defer(flow, src_sw, dst_sw, pkt,
+                   ControllerPathReason::kOpenFlowMiss)) {
+    return;
+  }
+  finish_controller_flow(flow, src_sw, dst_sw, pkt,
+                         ControllerPathReason::kOpenFlowMiss, m);
 }
 
 bool Network::handle_transition_flow(const workload::Flow& flow,
                                      SwitchId src_sw, SwitchId dst_sw,
-                                     const net::Packet& pkt) {
+                                     const net::Packet& pkt, RunMetrics& m,
+                                     ControllerDefer* defer) {
   EdgeSwitch& sw = *switches_[src_sw.value()];
   if (host_pair_excluded(flow) || !sw.in_transition(flow.start)) return false;
 
-  const SimTime now = flow.start;
-  const LatencyModel& lat = config_.latency;
-  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
-  const SimDuration cross_path =
-      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
-  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
+  const SimDuration steady = path_delays().steady(src_sw, dst_sw);
 
   if (config_.grouping.preload_on_update) {
     // Preloaded temporary rule absorbs the transition.
-    ++metrics_->flows_flow_table_hit;
-    account_flow_latency(flow, steady, steady);
+    ++m.flows_flow_table_hit;
+    account_flow_latency(flow, steady, steady, m);
     return true;
   }
-  ++metrics_->transition_punts;
-  const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
-  install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
-  account_flow_latency(flow, steady + ctrl, steady);
+  if (defer != nullptr &&
+      defer->defer(flow, src_sw, dst_sw, pkt,
+                   ControllerPathReason::kTransitionPunt)) {
+    return true;
+  }
+  finish_controller_flow(flow, src_sw, dst_sw, pkt,
+                         ControllerPathReason::kTransitionPunt, m);
   return true;
 }
 
@@ -466,49 +470,50 @@ void Network::handle_flow_lazyctrl(const workload::Flow& flow,
                                    SwitchId src_sw, SwitchId dst_sw,
                                    const net::Packet& pkt) {
   // Grouping transition window (appendix B preload).
-  if (handle_transition_flow(flow, src_sw, dst_sw, pkt)) return;
+  if (handle_transition_flow(flow, src_sw, dst_sw, pkt, *metrics_, nullptr)) {
+    return;
+  }
 
   EdgeSwitch::Decision d =
       switches_[src_sw.value()]->decide(pkt, flow.start,
                                         ControlMode::kLazyCtrl);
   process_lazyctrl_decision(flow, src_sw, dst_sw, pkt,
-                            DecisionView{d.kind, d.candidates});
+                            DecisionView{d.kind, d.candidates}, *metrics_,
+                            nullptr);
 }
 
 void Network::process_lazyctrl_decision(const workload::Flow& flow,
                                         SwitchId src_sw, SwitchId dst_sw,
                                         const net::Packet& pkt,
-                                        const DecisionView& d) {
-  const SimTime now = flow.start;
-  const LatencyModel& lat = config_.latency;
-  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
-  const SimDuration cross_path =
-      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
-  const SimDuration steady = src_sw == dst_sw ? local_path : cross_path;
-  EdgeSwitch& sw = *switches_[src_sw.value()];
+                                        const DecisionView& d, RunMetrics& m,
+                                        ControllerDefer* defer) {
+  const PathDelays paths = path_delays();
+  const SimDuration steady = paths.steady(src_sw, dst_sw);
 
-  // Appendix B host exclusion: excluded hosts are controller-handled.
+  // Appendix B host exclusion: excluded hosts are controller-handled
+  // (fine-grained control, with rule caching).
   if (host_pair_excluded(flow) &&
       d.kind != EdgeSwitch::DecisionKind::kFlowTableHit &&
       d.kind != EdgeSwitch::DecisionKind::kLocalDeliver) {
-    // Controller-managed host: fine-grained control, with rule caching.
-    const SimDuration ctrl = controller_round_trip(now + lat.host_link, src_sw);
-    install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
-    ++metrics_->flows_inter_group;
-    metrics_->inter_group_arrivals.add_event(now);
-    account_flow_latency(flow, steady + ctrl, steady);
+    if (defer != nullptr &&
+        defer->defer(flow, src_sw, dst_sw, pkt,
+                     ControllerPathReason::kExcludedHosts)) {
+      return;
+    }
+    finish_controller_flow(flow, src_sw, dst_sw, pkt,
+                           ControllerPathReason::kExcludedHosts, m);
     return;
   }
 
   switch (d.kind) {
     case EdgeSwitch::DecisionKind::kFlowTableHit: {
-      ++metrics_->flows_flow_table_hit;
-      account_flow_latency(flow, steady, steady);
+      ++m.flows_flow_table_hit;
+      account_flow_latency(flow, steady, steady, m);
       return;
     }
     case EdgeSwitch::DecisionKind::kLocalDeliver: {
-      ++metrics_->flows_local_delivery;
-      account_flow_latency(flow, local_path, local_path);
+      ++m.flows_local_delivery;
+      account_flow_latency(flow, paths.local, paths.local, m);
       return;
     }
     case EdgeSwitch::DecisionKind::kIntraGroup: {
@@ -517,35 +522,86 @@ void Network::process_lazyctrl_decision(const workload::Flow& flow,
       if (has_dst) {
         // Normal intra-group delivery; extra copies are BF false positives
         // dropped at the mis-targeted peers (Fig. 5 encapsulated branch).
-        ++metrics_->flows_intra_group;
+        ++m.flows_intra_group;
         const std::uint64_t extras = d.candidates.size() - 1;
-        metrics_->bf_false_positive_copies += extras * flow.packets;
-        metrics_->bf_misforward_drops += extras * flow.packets;
-        account_flow_latency(flow, cross_path, cross_path);
+        m.bf_false_positive_copies += extras * flow.packets;
+        m.bf_misforward_drops += extras * flow.packets;
+        account_flow_latency(flow, paths.cross, paths.cross, m);
         return;
       }
       // Pure false positive: the destination is outside the group but some
       // filter matched. All copies are dropped at the receivers; per the
       // optional §III-D4 rule, the mis-forward is reported so the
       // controller installs an exact rule and forwards the packet.
-      metrics_->bf_false_positive_copies += d.candidates.size();
-      metrics_->bf_misforward_drops += d.candidates.size();
-      const SimDuration report_at = cross_path;  // copy reached wrong peer
-      const SimDuration ctrl = controller_round_trip(now + report_at);
-      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
-      ++metrics_->flows_inter_group;
-      metrics_->inter_group_arrivals.add_event(now);
-      account_flow_latency(flow, report_at + ctrl + lat.datapath, steady);
+      m.bf_false_positive_copies += d.candidates.size();
+      m.bf_misforward_drops += d.candidates.size();
+      if (defer != nullptr &&
+          defer->defer(flow, src_sw, dst_sw, pkt,
+                       ControllerPathReason::kPureFalsePositive)) {
+        return;
+      }
+      finish_controller_flow(flow, src_sw, dst_sw, pkt,
+                             ControllerPathReason::kPureFalsePositive, m);
       return;
     }
     case EdgeSwitch::DecisionKind::kToController: {
       // Inter-group flow: PacketIn, coarse (tenant, dst) rule installed.
+      if (defer != nullptr &&
+          defer->defer(flow, src_sw, dst_sw, pkt,
+                       ControllerPathReason::kInterGroupPunt)) {
+        return;
+      }
+      finish_controller_flow(flow, src_sw, dst_sw, pkt,
+                             ControllerPathReason::kInterGroupPunt, m);
+      return;
+    }
+  }
+}
+
+void Network::finish_controller_flow(const workload::Flow& flow,
+                                     SwitchId src_sw, SwitchId dst_sw,
+                                     const net::Packet& pkt,
+                                     ControllerPathReason reason,
+                                     RunMetrics& m) {
+  const SimTime now = flow.start;
+  const LatencyModel& lat = config_.latency;
+  const PathDelays paths = path_delays();
+  const SimDuration steady = paths.steady(src_sw, dst_sw);
+  EdgeSwitch& sw = *switches_[src_sw.value()];
+
+  switch (reason) {
+    case ControllerPathReason::kOpenFlowMiss: {
+      const SimDuration ctrl =
+          controller_round_trip(now + lat.host_link, src_sw);
+      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/true, now);
+      account_flow_latency(flow, steady + ctrl, steady, m);
+      return;
+    }
+    case ControllerPathReason::kTransitionPunt: {
+      ++m.transition_punts;
       const SimDuration ctrl =
           controller_round_trip(now + lat.host_link, src_sw);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
-      ++metrics_->flows_inter_group;
-      metrics_->inter_group_arrivals.add_event(now);
-      account_flow_latency(flow, steady + ctrl, steady);
+      account_flow_latency(flow, steady + ctrl, steady, m);
+      return;
+    }
+    case ControllerPathReason::kExcludedHosts:
+    case ControllerPathReason::kInterGroupPunt: {
+      const SimDuration ctrl =
+          controller_round_trip(now + lat.host_link, src_sw);
+      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+      ++m.flows_inter_group;
+      m.inter_group_arrivals.add_event(now);
+      account_flow_latency(flow, steady + ctrl, steady, m);
+      return;
+    }
+    case ControllerPathReason::kPureFalsePositive: {
+      const SimDuration report_at = paths.cross;  // copy reached wrong peer
+      const SimDuration ctrl = controller_round_trip(now + report_at);
+      install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
+      ++m.flows_inter_group;
+      m.inter_group_arrivals.add_event(now);
+      account_flow_latency(flow, report_at + ctrl + lat.datapath, steady, m);
       return;
     }
   }
@@ -652,7 +708,7 @@ void Network::perform_migration(HostId host, SwitchId to) {
   }
 }
 
-void Network::replay(const workload::Trace& trace) {
+Network::ReplayTimers Network::begin_replay(const workload::Trace& trace) {
   assert(bootstrapped_ && "call bootstrap() before replay()");
   assert(!replayed_);
   replayed_ = true;
@@ -667,18 +723,18 @@ void Network::replay(const workload::Trace& trace) {
   metrics_ = std::move(fresh);
 
   // Periodic machinery.
-  const sim::EventId window_timer = simulator_.schedule_periodic(
+  ReplayTimers timers;
+  timers.window = simulator_.schedule_periodic(
       config_.grouping.stats_window, [this] { roll_stats_window(); });
-  const sim::EventId report_timer = simulator_.schedule_periodic(
+  timers.report = simulator_.schedule_periodic(
       config_.state_report_period, [this] {
         if (config_.mode == ControlMode::kLazyCtrl) {
           metrics_->state_link_messages +=
               controller_.grouping().group_count;
         }
       });
-  sim::EventId dgm_timer = 0;
   if (dgm_) {
-    dgm_timer = simulator_.schedule_periodic(
+    timers.dgm = simulator_.schedule_periodic(
         config_.dgm.maintenance_period, [this] { run_dgm_maintenance(); });
   }
 
@@ -687,26 +743,45 @@ void Network::replay(const workload::Trace& trace) {
     simulator_.schedule_at(
         m.at, [this, m] { perform_migration(m.host, m.to); });
   }
+  return timers;
+}
 
-  // Cursor-driven flow injection: one pending event at a time. With
-  // flow_batch_size > 1 each event drains a whole run of consecutive flows
-  // through the batched datapath; the batch is fenced by the next pending
-  // control-plane event so results match single-flow injection exactly.
+void Network::end_replay(const ReplayTimers& timers) {
+  simulator_.cancel(timers.window);
+  simulator_.cancel(timers.report);
+  if (timers.dgm != 0) simulator_.cancel(timers.dgm);
+}
+
+void Network::replay(const workload::Trace& trace) {
+  if (config_.runtime.num_shards > 1) {
+    // Sharded parallel replay (src/runtime): group-sharded worker threads
+    // under bounded-lag synchronization; see Config.runtime for the modes.
+    runtime::ShardedRuntime sharded(*this);
+    sharded.replay(trace);
+    return;
+  }
+  const ReplayTimers timers = begin_replay(trace);
+
+  // Cursor-driven flow injection (sim::schedule_cursor_chain): one
+  // pending event at a time. With flow_batch_size > 1 each event drains a
+  // whole run of consecutive flows through the batched datapath; the
+  // batch is fenced by the next pending control-plane event so results
+  // match single-flow injection exactly.
   if (!trace.flows.empty()) {
     const std::vector<workload::Flow>* flows = &trace.flows;
     const std::size_t batch_size = config_.batching.flow_batch_size;
-    auto inject = std::make_shared<std::function<void(std::size_t)>>();
+    sim::CursorStep step;
     if (batch_size <= 1) {
-      *inject = [this, flows, inject](std::size_t i) {
+      step = [this, flows](std::size_t i)
+          -> std::optional<std::pair<std::size_t, SimTime>> {
         on_flow((*flows)[i]);
-        if (i + 1 < flows->size()) {
-          simulator_.schedule_at((*flows)[i + 1].start,
-                                 [inject, i](){ (*inject)(i + 1); });
-        }
+        if (i + 1 >= flows->size()) return std::nullopt;
+        return {{i + 1, (*flows)[i + 1].start}};
       };
     } else {
       if (!batch_) batch_ = std::make_unique<BatchScratch>();
-      *inject = [this, flows, inject, batch_size](std::size_t i) {
+      step = [this, flows, batch_size](std::size_t i)
+          -> std::optional<std::pair<std::size_t, SimTime>> {
         // The event for flow i has already fired, so i is always safe to
         // process. Later flows join the batch only while they start
         // strictly before the next pending event: at a timestamp tie the
@@ -718,20 +793,16 @@ void Network::replay(const workload::Trace& trace) {
           ++batch_end;
         }
         on_flow_batch(*flows, i, batch_end);
-        if (batch_end < flows->size()) {
-          simulator_.schedule_at((*flows)[batch_end].start,
-                                 [inject, batch_end] { (*inject)(batch_end); });
-        }
+        if (batch_end >= flows->size()) return std::nullopt;
+        return {{batch_end, (*flows)[batch_end].start}};
       };
     }
-    simulator_.schedule_at(trace.flows.front().start,
-                           [inject] { (*inject)(0); });
+    sim::schedule_cursor_chain(simulator_, trace.flows.front().start,
+                               std::move(step));
   }
 
   simulator_.run_until(trace.horizon);
-  simulator_.cancel(window_timer);
-  simulator_.cancel(report_timer);
-  if (dgm_timer != 0) simulator_.cancel(dgm_timer);
+  end_replay(timers);
 }
 
 HostId Network::add_silent_host(TenantId tenant, SwitchId sw) {
@@ -746,9 +817,9 @@ SimDuration Network::cold_cache_first_packet(HostId src_id, HostId dst_id) {
   const LatencyModel& lat = config_.latency;
   const SimTime now = simulator_.now();
 
-  const SimDuration local_path = 2 * lat.host_link + lat.switch_processing;
-  const SimDuration cross_path =
-      2 * lat.host_link + 2 * lat.switch_processing + lat.datapath;
+  const PathDelays paths = path_delays();
+  const SimDuration local_path = paths.local;
+  const SimDuration cross_path = paths.cross;
 
   if (config_.mode == ControlMode::kOpenFlow) {
     // Baseline cold cache (§V-E: the learning-switch module learns the

@@ -37,6 +37,10 @@
 #include "topo/topology.h"
 #include "workload/trace.h"
 
+namespace lazyctrl::runtime {
+class ShardedRuntime;
+}
+
 namespace lazyctrl::core {
 
 class Network : private dgm::GroupingHost {
@@ -56,6 +60,9 @@ class Network : private dgm::GroupingHost {
 
   /// Replays a trace to its horizon, driving flow setup, state reports and
   /// (when enabled) dynamic regrouping. May be called once per Network.
+  /// With config.runtime.num_shards > 1 the replay is delegated to the
+  /// sharded parallel runtime (src/runtime); in its deterministic mode the
+  /// resulting metrics are bit-identical to the single-threaded path.
   void replay(const workload::Trace& trace);
 
   /// Schedules a VM migration during replay (must be called before replay).
@@ -68,6 +75,15 @@ class Network : private dgm::GroupingHost {
   /// first-packet latency of a fresh flow src -> dst, learning locations as
   /// a side effect. Works in both control modes.
   SimDuration cold_cache_first_packet(HostId src, HostId dst);
+
+  /// Assembles the first data packet of `flow` from its resolved endpoint
+  /// records — the single definition of the flow -> packet mapping. The
+  /// per-flow datapath, the batched assembly and the sharded runtime's
+  /// workers all build packets through this helper, so the deterministic
+  /// mode's bit-identity contract cannot drift field by field.
+  [[nodiscard]] static net::Packet make_flow_packet(
+      const topo::HostInfo& src, const topo::HostInfo& dst,
+      const workload::Flow& flow) noexcept;
 
   // --- accessors ---
   [[nodiscard]] const RunMetrics& metrics() const noexcept {
@@ -118,10 +134,29 @@ class Network : private dgm::GroupingHost {
   }
 
  private:
+  /// The sharded parallel replay runtime drives the datapath through the
+  /// private seams below (begin/end_replay, the decision processors with
+  /// an explicit metrics sink, the controller-deferral hook and the span
+  /// install log) instead of a wide public surface.
+  friend class lazyctrl::runtime::ShardedRuntime;
+
   struct PathDelays {
     SimDuration local;  ///< host -> switch -> host, same switch
     SimDuration cross;  ///< host -> switch -> underlay -> switch -> host
+
+    /// Steady-state per-packet delay for a src -> dst switch pair.
+    [[nodiscard]] SimDuration steady(SwitchId src_sw,
+                                     SwitchId dst_sw) const noexcept {
+      return src_sw == dst_sw ? local : cross;
+    }
   };
+  /// The ONE definition of the data-plane path delays every flow-handling
+  /// site (sequential, batched, sharded drain, cold cache) prices from.
+  [[nodiscard]] PathDelays path_delays() const noexcept {
+    const LatencyModel& lat = config_.latency;
+    return {2 * lat.host_link + lat.switch_processing,
+            2 * lat.host_link + 2 * lat.switch_processing + lat.datapath};
+  }
 
   /// A forwarding decision seen by the shared processing code: either a
   /// single decide() result or one slot of a DecisionBatch.
@@ -129,6 +164,44 @@ class Network : private dgm::GroupingHost {
     EdgeSwitch::DecisionKind kind;
     std::span<const SwitchId> candidates;  ///< kIntraGroup only
   };
+
+  /// Why a flow needs the central controller. The decision processors
+  /// classify; finish_controller_flow() executes (round trip, reactive
+  /// rule, accounting). The split is the shard-boundary seam: a sharded
+  /// fast-mode worker defers the (reason-tagged) flow to the coordinator
+  /// instead of touching shared controller state.
+  enum class ControllerPathReason : std::uint8_t {
+    kOpenFlowMiss,       ///< baseline table miss -> exact-match rule
+    kTransitionPunt,     ///< grouping transition window without preload
+    kExcludedHosts,      ///< appendix-B excluded host pair
+    kPureFalsePositive,  ///< G-FIB matched but dst outside the group
+    kInterGroupPunt,     ///< Fig. 5 miss everywhere -> PacketIn
+  };
+
+  /// Deferral hook: when non-null and defer() returns true, the
+  /// controller path is NOT executed inline — the implementer owns
+  /// finishing the flow later (on the coordinator, in flow order).
+  struct ControllerDefer {
+    virtual bool defer(const workload::Flow& flow, SwitchId src_sw,
+                       SwitchId dst_sw, const net::Packet& pkt,
+                       ControllerPathReason reason) = 0;
+
+   protected:
+    ~ControllerDefer() = default;
+  };
+
+  /// Pending-timer handles of one replay, returned by begin_replay() and
+  /// released by end_replay() — the seam letting the sharded runtime wrap
+  /// the flow-injection loop while reusing all periodic machinery.
+  struct ReplayTimers {
+    sim::EventId window = 0;
+    sim::EventId report = 0;
+    sim::EventId dgm = 0;
+  };
+  /// Re-buckets metrics to the trace horizon and schedules the periodic
+  /// machinery (stats windows, state reports, DGM rounds, migrations).
+  ReplayTimers begin_replay(const workload::Trace& trace);
+  void end_replay(const ReplayTimers& timers);
 
   void on_flow(const workload::Flow& flow);
   /// Batched datapath: handles trace flows [begin, end) inside ONE
@@ -143,16 +216,32 @@ class Network : private dgm::GroupingHost {
                             SwitchId dst_sw, const net::Packet& pkt);
   void handle_flow_openflow(const workload::Flow& flow, SwitchId src_sw,
                             SwitchId dst_sw, const net::Packet& pkt);
+  // The decision processors take an explicit metrics sink `m` (the run
+  // metrics on the sequential path, a shard-local RunMetrics inside a
+  // fast-mode worker) and an optional controller-deferral hook. Any state
+  // they touch beyond `m` belongs to the ingress switch, which is owned
+  // by exactly one shard — the invariant making the parallel fast path
+  // race-free.
   /// The appendix-B transition-window pre-decide path. Returns true when
-  /// the flow was fully handled (preload hit or transition punt).
+  /// the flow was fully handled (preload hit, transition punt or punt
+  /// deferral).
   bool handle_transition_flow(const workload::Flow& flow, SwitchId src_sw,
-                              SwitchId dst_sw, const net::Packet& pkt);
+                              SwitchId dst_sw, const net::Packet& pkt,
+                              RunMetrics& m, ControllerDefer* defer);
   void process_openflow_decision(const workload::Flow& flow, SwitchId src_sw,
                                  SwitchId dst_sw, const net::Packet& pkt,
-                                 const DecisionView& d);
+                                 const DecisionView& d, RunMetrics& m,
+                                 ControllerDefer* defer);
   void process_lazyctrl_decision(const workload::Flow& flow, SwitchId src_sw,
                                  SwitchId dst_sw, const net::Packet& pkt,
-                                 const DecisionView& d);
+                                 const DecisionView& d, RunMetrics& m,
+                                 ControllerDefer* defer);
+  /// Executes the controller path for a `reason`-classified flow:
+  /// PacketIn round trip, reactive rule install, metric accounting.
+  /// Coordinator-thread only (touches CentralController state).
+  void finish_controller_flow(const workload::Flow& flow, SwitchId src_sw,
+                              SwitchId dst_sw, const net::Packet& pkt,
+                              ControllerPathReason reason, RunMetrics& m);
   [[nodiscard]] bool host_pair_excluded(const workload::Flow& flow) const {
     return !excluded_hosts_.empty() &&
            (excluded_hosts_.contains(flow.src.value()) ||
@@ -174,7 +263,7 @@ class Network : private dgm::GroupingHost {
 
   void account_flow_latency(const workload::Flow& flow,
                             SimDuration first_packet,
-                            SimDuration steady_packet);
+                            SimDuration steady_packet, RunMetrics& m);
 
   void apply_grouping(Grouping grouping, bool initial,
                       const std::vector<GroupId>& touched);
@@ -239,6 +328,17 @@ class Network : private dgm::GroupingHost {
   /// Non-null while on_flow_batch() handles decisions: install_reactive_rule
   /// records installs here for the staleness check.
   BatchScratch* active_batch_ = nullptr;
+
+  /// Non-null while the sharded runtime merges a window span: installs are
+  /// recorded per ingress switch (outer index = switch id) so the merge
+  /// can re-decide any later packet of the span they cover — the
+  /// cross-run generalization of the BatchScratch::installs staleness
+  /// check.
+  std::vector<std::vector<openflow::Match>>* span_install_log_ = nullptr;
+
+  /// Bumped by every apply_grouping(); the sharded runtime re-partitions
+  /// groups onto shards when it observes a new epoch at a span boundary.
+  std::uint64_t grouping_epoch_ = 0;
 
   /// One failure-detection wheel per group (empty unless failover enabled).
   std::vector<std::unique_ptr<FailureWheel>> wheels_;

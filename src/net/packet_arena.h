@@ -9,11 +9,13 @@
 //    core::Network's batched replay uses). clear() keeps the capacity, so
 //    after warm-up refilling a batch is a plain overwrite.
 //  * PacketArena — a block-allocating pool with a free list for packets
-//    whose lifetime must outlive one batch. The current datapath consumes
-//    every packet synchronously, so nothing checks packets out yet; the
-//    arena is the storage primitive for modelling retained in-flight
-//    packets (queued punts, encapsulated copies in transit) without
-//    per-packet heap churn. Covered by tests/net_test.cpp.
+//    whose lifetime must outlive one batch: the retained in-flight packets
+//    of the datapath. The sharded runtime's fast mode checks deferred
+//    controller-bound packets out of a per-shard arena, parks them in the
+//    shard's mailbox across the sync-window barrier, and checks them back
+//    in after the coordinator drains them — pooled storage instead of
+//    per-punt heap churn. Covered by tests/net_test.cpp (reuse and
+//    high-water-mark behaviour) and tests/runtime_test.cpp.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +46,7 @@ class PacketArena {
     free_.pop_back();
     *slot = p;
     ++checked_out_;
+    if (checked_out_ > high_water_) high_water_ = checked_out_;
     return slot;
   }
 
@@ -56,6 +59,12 @@ class PacketArena {
 
   [[nodiscard]] std::size_t checked_out() const noexcept {
     return checked_out_;
+  }
+  /// Most packets simultaneously checked out over the arena's lifetime —
+  /// the retention high-water mark (what capacity converges to once the
+  /// free list absorbs the steady state).
+  [[nodiscard]] std::size_t high_water_mark() const noexcept {
+    return high_water_;
   }
   /// Total packet slots owned by the arena (live + free).
   [[nodiscard]] std::size_t capacity() const noexcept {
@@ -78,6 +87,7 @@ class PacketArena {
   std::vector<std::unique_ptr<Packet[]>> blocks_;
   std::vector<Packet*> free_;
   std::size_t checked_out_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// A reusable contiguous batch of packets: the unit of work of the batched

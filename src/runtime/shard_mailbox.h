@@ -1,0 +1,95 @@
+// Single-producer / single-consumer mailbox carrying deferred flows from a
+// shard worker to the coordinator.
+//
+// In the sharded runtime's fast mode, a worker that classifies a flow as
+// controller-bound parks the packet in its shard's net::PacketArena and
+// pushes a DeferredFlow here; the coordinator drains every mailbox after
+// the sync-window barrier and finishes the flows in global flow order.
+// The queue is a classic lock-free SPSC ring (acquire/release on head and
+// tail, power-of-two capacity): the producer is the shard's worker thread,
+// the consumer is the coordinator, and capacity is re-sized only between
+// spans, while both sides are quiescent — so a push never blocks and never
+// fails during a span.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace lazyctrl::runtime {
+
+/// One controller-bound flow crossing the shard boundary. `offset` is the
+/// flow's position inside the current window span (the coordinator sorts
+/// drained entries by it to restore global flow order); `reason` is a
+/// core::Network::ControllerPathReason value; `pkt` points into the
+/// shard's PacketArena and is checked back in after the coordinator
+/// finishes the flow.
+struct DeferredFlow {
+  std::uint32_t offset = 0;
+  std::uint8_t reason = 0;
+  net::Packet* pkt = nullptr;
+};
+
+class ShardMailbox {
+ public:
+  ShardMailbox() { reserve(256); }
+
+  ShardMailbox(const ShardMailbox&) = delete;
+  ShardMailbox& operator=(const ShardMailbox&) = delete;
+
+  /// Grows the ring to hold at least `n` entries. May only be called while
+  /// neither side is active (between spans): it re-bases the indices.
+  void reserve(std::size_t n) {
+    assert(empty() && "reserve() requires a quiescent, drained mailbox");
+    std::size_t cap = 1;
+    while (cap < n + 1) cap <<= 1;  // one slot stays empty (full marker)
+    if (cap <= ring_.size()) return;
+    ring_.assign(cap, DeferredFlow{});
+    mask_ = cap - 1;
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Producer side (shard worker). Returns false when the ring is full —
+  /// the runtime sizes the ring to the span length up front, so a false
+  /// return indicates a sizing bug, not an expected condition.
+  bool push(const DeferredFlow& f) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    ring_[tail] = f;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (coordinator). Returns false when empty.
+  bool pop(DeferredFlow& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = ring_[head];
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.empty() ? 0 : ring_.size() - 1;
+  }
+
+ private:
+  std::vector<DeferredFlow> ring_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices on separate cache lines to avoid
+  // false sharing between the two threads.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace lazyctrl::runtime

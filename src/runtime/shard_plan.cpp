@@ -1,0 +1,63 @@
+#include "runtime/shard_plan.h"
+
+#include <algorithm>
+
+namespace lazyctrl::runtime {
+
+ShardPlan::ShardPlan(std::size_t switch_count, const core::Grouping& grouping,
+                     std::size_t requested_shards) {
+  shard_of_switch_.assign(switch_count, 0);
+  if (requested_shards == 0) requested_shards = 1;
+
+  if (grouping.group_count == 0 ||
+      grouping.switch_to_group.size() < switch_count) {
+    // Ungrouped network: contiguous equal ranges of switch ids.
+    shard_count_ = std::min(requested_shards, std::max<std::size_t>(
+                                                  switch_count, 1));
+    shard_sizes_.assign(shard_count_, 0);
+    const std::size_t per =
+        (switch_count + shard_count_ - 1) / std::max<std::size_t>(
+                                                shard_count_, 1);
+    for (std::size_t i = 0; i < switch_count; ++i) {
+      const auto s = static_cast<std::uint32_t>(
+          std::min(i / std::max<std::size_t>(per, 1), shard_count_ - 1));
+      shard_of_switch_[i] = s;
+      ++shard_sizes_[s];
+    }
+    return;
+  }
+
+  shard_count_ = std::min(requested_shards, grouping.group_count);
+  shard_sizes_.assign(shard_count_, 0);
+
+  // Greedy LPT: place groups in descending size order onto the currently
+  // lightest shard. Group order is made deterministic by breaking size
+  // ties on group id.
+  std::vector<std::size_t> group_size(grouping.group_count, 0);
+  for (std::size_t i = 0; i < switch_count; ++i) {
+    ++group_size[grouping.switch_to_group[i]];
+  }
+  std::vector<std::uint32_t> order(grouping.group_count);
+  for (std::uint32_t g = 0; g < order.size(); ++g) order[g] = g;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return group_size[a] != group_size[b]
+                         ? group_size[a] > group_size[b]
+                         : a < b;
+            });
+
+  std::vector<std::uint32_t> shard_of_group(grouping.group_count, 0);
+  for (std::uint32_t g : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < shard_count_; ++s) {
+      if (shard_sizes_[s] < shard_sizes_[lightest]) lightest = s;
+    }
+    shard_of_group[g] = static_cast<std::uint32_t>(lightest);
+    shard_sizes_[lightest] += group_size[g];
+  }
+  for (std::size_t i = 0; i < switch_count; ++i) {
+    shard_of_switch_[i] = shard_of_group[grouping.switch_to_group[i]];
+  }
+}
+
+}  // namespace lazyctrl::runtime

@@ -1,0 +1,461 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "topo/topology.h"
+
+namespace lazyctrl::runtime {
+
+namespace {
+
+/// Largest number of flows one span may carry — bounds the coordinator's
+/// per-span scratch even on extremely dense traces with no pending
+/// control events.
+constexpr std::size_t kMaxSpanFlows = 1u << 16;
+
+/// Resolves the endpoints and builds the flow's packet through the ONE
+/// shared assembly helper (core::Network::make_flow_packet), keeping
+/// worker-built packets byte-identical to the sequential datapath's.
+net::Packet make_packet(const topo::Topology& topo,
+                        const workload::Flow& flow) {
+  return core::Network::make_flow_packet(topo.host_info(flow.src),
+                                         topo.host_info(flow.dst), flow);
+}
+
+}  // namespace
+
+/// Fast-mode shard-boundary crossing: a worker classifying a flow as
+/// controller-bound parks the packet in its shard's arena and enqueues it
+/// for the coordinator instead of touching shared controller state.
+struct ShardedRuntime::DeferSink : core::Network::ControllerDefer {
+  Shard* shard = nullptr;
+
+  bool defer(const workload::Flow& /*flow*/, SwitchId /*src_sw*/,
+             SwitchId /*dst_sw*/, const net::Packet& pkt,
+             core::Network::ControllerPathReason reason) override {
+    net::Packet* retained = shard->arena.check_out(pkt);
+    const bool pushed = shard->mailbox.push(DeferredFlow{
+        shard->current_offset, static_cast<std::uint8_t>(reason), retained});
+    (void)pushed;
+    assert(pushed && "mailbox is sized to the span length up front");
+    return true;
+  }
+};
+
+ShardedRuntime::ShardedRuntime(core::Network& net)
+    : net_(net),
+      plan_(net.topology().switch_count(), net.controller().grouping(),
+            std::max<std::size_t>(net.config().runtime.num_shards, 1)) {
+  plan_epoch_ = net_.grouping_epoch_;
+  shards_.reserve(plan_.shard_count());
+  for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+    // Decorrelated per-shard randomness, all derived from the one master
+    // seed: parallel runs stay reproducible from Config.seed alone.
+    shards_.push_back(
+        std::make_unique<Shard>(Rng::stream(net_.config_.seed, s + 1)));
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() { stop_workers(); }
+
+void ShardedRuntime::refresh_plan() {
+  if (net_.grouping_epoch_ == plan_epoch_) return;
+  plan_ = ShardPlan(net_.topology_.switch_count(),
+                    net_.controller_.grouping(), shards_.size());
+  plan_epoch_ = net_.grouping_epoch_;
+  ++stats_.repartitions;
+}
+
+void ShardedRuntime::spawn_workers() {
+  shutdown_ = false;
+  span_seq_ = 0;
+  done_count_ = 0;
+  workers_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void ShardedRuntime::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void ShardedRuntime::worker_main(std::size_t shard_idx) {
+  Shard& shard = *shards_[shard_idx];
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || span_seq_ > seen; });
+      if (shutdown_) return;
+      seen = span_seq_;
+    }
+    if (fast_) {
+      run_shard_fast(shard);
+    } else {
+      run_shard_deterministic(shard);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_count_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardedRuntime::replay(const workload::Trace& trace) {
+  assert(!replayed_ && "a ShardedRuntime drives one replay");
+  replayed_ = true;
+
+  const core::Config& cfg = net_.config_;
+  fast_ = cfg.runtime.mode == core::RuntimeMode::kFast;
+  // Conservative bounded-lag default: the minimum cross-shard control
+  // round trip. No flow's control-plane side effect can land back at a
+  // switch sooner, so deferring cross-shard visibility within the window
+  // only reorders what the channels could not have delivered yet.
+  sync_window_ = cfg.runtime.sync_window > 0
+                     ? cfg.runtime.sync_window
+                     : 2 * cfg.latency.control_link +
+                           cfg.latency.controller_service;
+
+  const core::Network::ReplayTimers timers = net_.begin_replay(trace);
+  refresh_plan();
+  if (fast_) {
+    for (auto& shard : shards_) {
+      shard->metrics = std::make_unique<core::RunMetrics>(trace.horizon);
+    }
+  }
+  spawn_workers();
+
+  // Cursor-driven span injection (sim::schedule_cursor_chain), mirroring
+  // the sequential batched injector: the event for flow i has fired, so i
+  // is safe; later flows join the span only while they start strictly
+  // before the next pending control-plane event (at a timestamp tie the
+  // sequential datapath would run that event first) and within the
+  // bounded-lag window of the span head.
+  if (!trace.flows.empty()) {
+    const std::vector<workload::Flow>* flows = &trace.flows;
+    sim::schedule_cursor_chain(
+        net_.simulator_, trace.flows.front().start,
+        [this, flows](std::size_t i)
+            -> std::optional<std::pair<std::size_t, SimTime>> {
+          const SimTime fence = net_.simulator_.next_event_time();
+          const SimTime head = (*flows)[i].start;
+          std::size_t end = i + 1;
+          while (end < flows->size() && end - i < kMaxSpanFlows) {
+            const SimTime t = (*flows)[end].start;
+            if (t >= fence || t - head >= sync_window_) break;
+            ++end;
+          }
+          process_span(*flows, i, end);
+          if (end >= flows->size()) return std::nullopt;
+          return {{end, (*flows)[end].start}};
+        });
+  }
+
+  net_.simulator_.run_until(trace.horizon);
+  net_.end_replay(timers);
+  stop_workers();
+
+  if (fast_) {
+    // Fold shard-local outcomes into the run metrics (fixed shard order:
+    // the merge itself is deterministic).
+    for (auto& shard : shards_) {
+      net_.metrics_->merge_from(*shard->metrics);
+    }
+  }
+}
+
+void ShardedRuntime::process_span(const std::vector<workload::Flow>& flows,
+                                  std::size_t begin, std::size_t end) {
+  refresh_plan();
+  const std::size_t n = end - begin;
+  ++stats_.spans;
+  stats_.flows += n;
+
+  src_sw_.resize(n);
+  dst_sw_.resize(n);
+  shard_of_flow_.resize(n);
+  pos_.resize(n);
+  for (auto& shard : shards_) shard->offsets.clear();
+
+  const bool lazy = net_.config_.mode == core::ControlMode::kLazyCtrl;
+
+  // Meta pass (coordinator): per-flow ingress bookkeeping in global flow
+  // order — exactly the assembly half of the sequential batched datapath —
+  // plus the shard assignment of every decidable flow. Transition-window
+  // flows are handled without a decide() in sequential mode, so they stay
+  // with the coordinator (kUnassigned).
+  for (std::size_t k = 0; k < n; ++k) {
+    const workload::Flow& flow = flows[begin + k];
+    ++net_.metrics_->flows_seen;
+    net_.metrics_->flow_arrivals.add_event(flow.start);
+    const topo::HostInfo& src = net_.topology_.host_info(flow.src);
+    const topo::HostInfo& dst = net_.topology_.host_info(flow.dst);
+    src_sw_[k] = src.attached_switch;
+    dst_sw_[k] = dst.attached_switch;
+    if (src_sw_[k] != dst_sw_[k]) {
+      net_.switches_[src_sw_[k].value()]->record_new_flow_to(dst_sw_[k]);
+    }
+    shard_of_flow_[k] = plan_.shard_of(src_sw_[k]);
+
+    const bool transition_special =
+        lazy && !net_.host_pair_excluded(flow) &&
+        net_.switches_[src_sw_[k].value()]->in_transition(flow.start);
+    if (transition_special) {
+      pos_[k] = kUnassigned;
+      if (fast_) {
+        // Fast mode finishes transition flows right here (workers are not
+        // running yet, so the install of a transition punt is ordered
+        // before every parallel decide of this span).
+        const net::Packet pkt = make_packet(net_.topology_, flow);
+        const bool handled = net_.handle_transition_flow(
+            flow, src_sw_[k], dst_sw_[k], pkt, *net_.metrics_, nullptr);
+        (void)handled;
+        assert(handled && "transition window cannot close mid-span");
+      }
+      continue;
+    }
+    Shard& shard = *shards_[shard_of_flow_[k]];
+    pos_[k] = static_cast<std::uint32_t>(shard.offsets.size());
+    shard.offsets.push_back(static_cast<std::uint32_t>(k));
+  }
+
+  if (fast_) {
+    for (auto& shard : shards_) {
+      if (shard->mailbox.capacity() < shard->offsets.size()) {
+        shard->mailbox.reserve(shard->offsets.size());
+      }
+    }
+  }
+
+  // Parallel phase: publish the span and run the barrier.
+  span_flows_ = &flows;
+  span_begin_ = begin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_count_ = 0;
+    ++span_seq_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return done_count_ == workers_.size(); });
+  }
+
+  if (fast_) {
+    drain_fast(flows, begin);
+  } else {
+    merge_deterministic(flows, begin, end);
+  }
+}
+
+void ShardedRuntime::run_shard_deterministic(Shard& shard) {
+  shard.packets.clear();
+  shard.decisions.clear();
+  const std::vector<workload::Flow>& flows = *span_flows_;
+  const core::ControlMode mode = net_.config_.mode;
+  const std::vector<std::uint32_t>& offs = shard.offsets;
+
+  // Maximal stretches of same-ingress flows go through the staged
+  // decide_batch pipeline; packets land contiguously in the shard batch,
+  // so decision i always describes packet i.
+  std::size_t i = 0;
+  while (i < offs.size()) {
+    const SwitchId sw_id = src_sw_[offs[i]];
+    std::size_t j = i + 1;
+    while (j < offs.size() && src_sw_[offs[j]] == sw_id) ++j;
+    for (std::size_t t = i; t < j; ++t) {
+      shard.packets.emplace_back(
+          make_packet(net_.topology_, flows[span_begin_ + offs[t]]));
+    }
+    net_.switches_[sw_id.value()]->decide_batch(
+        std::span<const net::Packet>(shard.packets.data() + i, j - i), mode,
+        shard.decisions);
+    i = j;
+  }
+}
+
+void ShardedRuntime::run_shard_fast(Shard& shard) {
+  shard.packets.clear();
+  const std::vector<workload::Flow>& flows = *span_flows_;
+  const core::ControlMode mode = net_.config_.mode;
+  const bool openflow = mode == core::ControlMode::kOpenFlow;
+  const std::vector<std::uint32_t>& offs = shard.offsets;
+  DeferSink sink;
+  sink.shard = &shard;
+
+  std::size_t i = 0;
+  while (i < offs.size()) {
+    const SwitchId sw_id = src_sw_[offs[i]];
+    std::size_t j = i + 1;
+    while (j < offs.size() && src_sw_[offs[j]] == sw_id) ++j;
+    for (std::size_t t = i; t < j; ++t) {
+      shard.packets.emplace_back(
+          make_packet(net_.topology_, flows[span_begin_ + offs[t]]));
+    }
+    shard.decisions.clear();
+    net_.switches_[sw_id.value()]->decide_batch(
+        std::span<const net::Packet>(shard.packets.data() + i, j - i), mode,
+        shard.decisions);
+
+    // Handle the stretch in place: local outcomes into the shard metrics,
+    // controller-bound flows through the deferral sink.
+    for (std::size_t t = i; t < j; ++t) {
+      const std::uint32_t k = offs[t];
+      const workload::Flow& flow = flows[span_begin_ + k];
+      shard.current_offset = k;
+      const core::EdgeSwitch::BatchDecision& d = shard.decisions[t - i];
+      const core::Network::DecisionView view{d.kind,
+                                             shard.decisions.candidates(d)};
+      if (openflow) {
+        net_.process_openflow_decision(flow, src_sw_[k], dst_sw_[k],
+                                       shard.packets[t], view,
+                                       *shard.metrics, &sink);
+      } else {
+        net_.process_lazyctrl_decision(flow, src_sw_[k], dst_sw_[k],
+                                       shard.packets[t], view,
+                                       *shard.metrics, &sink);
+      }
+    }
+    i = j;
+  }
+}
+
+void ShardedRuntime::merge_deterministic(
+    const std::vector<workload::Flow>& flows, std::size_t begin,
+    std::size_t end) {
+  const std::size_t n = end - begin;
+  const bool openflow = net_.config_.mode == core::ControlMode::kOpenFlow;
+  if (install_log_.size() < net_.switches_.size()) {
+    install_log_.resize(net_.switches_.size());
+  }
+  net_.span_install_log_ = &install_log_;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const workload::Flow& flow = flows[begin + k];
+    if (pos_[k] == kUnassigned) {
+      const net::Packet pkt = make_packet(net_.topology_, flow);
+      const bool handled = net_.handle_transition_flow(
+          flow, src_sw_[k], dst_sw_[k], pkt, *net_.metrics_, nullptr);
+      (void)handled;
+      assert(handled && "transition window cannot close mid-span");
+      continue;
+    }
+
+    Shard& shard = *shards_[shard_of_flow_[k]];
+    const net::Packet& pkt = shard.packets[pos_[k]];
+    core::EdgeSwitch& sw = *net_.switches_[src_sw_[k].value()];
+
+    // Staleness: a rule installed while finishing an EARLIER flow of this
+    // span at the same ingress switch invalidates the pre-decide (the
+    // sequential interleaving would have decided after the install; with
+    // a bounded table any install can additionally evict). Re-decide those
+    // sequentially — the cross-run generalization of the batched
+    // datapath's in-run install check. The scan is capped: once a switch
+    // has accumulated many span installs, every later packet there is
+    // treated as stale outright (the re-decide fallback is always exact),
+    // which bounds the check at O(span x kMaxInstallScan) instead of
+    // going quadratic on controller-heavy single-switch bursts.
+    constexpr std::size_t kMaxInstallScan = 64;
+    bool stale = false;
+    const std::vector<openflow::Match>& installs =
+        install_log_[src_sw_[k].value()];
+    if (!installs.empty()) {
+      if (sw.flow_table().capacity() != 0 ||
+          installs.size() > kMaxInstallScan) {
+        stale = true;
+      } else {
+        for (const openflow::Match& match : installs) {
+          if (match.matches(pkt)) {
+            stale = true;
+            break;
+          }
+        }
+      }
+    }
+
+    core::Network::DecisionView view;
+    core::EdgeSwitch::Decision fresh;
+    if (stale) {
+      ++stats_.redecided_flows;
+      fresh = sw.decide(pkt, flow.start, net_.config_.mode);
+      view = core::Network::DecisionView{fresh.kind, fresh.candidates};
+    } else {
+      const core::EdgeSwitch::BatchDecision& d = shard.decisions[pos_[k]];
+      view = core::Network::DecisionView{d.kind,
+                                         shard.decisions.candidates(d)};
+    }
+    if (openflow) {
+      net_.process_openflow_decision(flow, src_sw_[k], dst_sw_[k], pkt, view,
+                                     *net_.metrics_, nullptr);
+    } else {
+      net_.process_lazyctrl_decision(flow, src_sw_[k], dst_sw_[k], pkt, view,
+                                     *net_.metrics_, nullptr);
+    }
+  }
+
+  // Installs only ever land at span ingress switches; clearing by offset
+  // is O(span) and leaves the log empty for the next span.
+  for (std::size_t k = 0; k < n; ++k) {
+    install_log_[src_sw_[k].value()].clear();
+  }
+  net_.span_install_log_ = nullptr;
+}
+
+void ShardedRuntime::drain_fast(const std::vector<workload::Flow>& flows,
+                                std::size_t begin) {
+  drained_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    DeferredFlow entry;
+    while (shards_[s]->mailbox.pop(entry)) {
+      drained_.emplace_back(static_cast<std::uint32_t>(s), entry);
+    }
+  }
+  if (drained_.empty()) return;
+  // Each mailbox is FIFO in flow order already; restoring GLOBAL flow
+  // order across shards is one sort on the span offset (unique per flow).
+  std::sort(drained_.begin(), drained_.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.offset < b.second.offset;
+            });
+  stats_.deferred_flows += drained_.size();
+
+  const core::Network::PathDelays paths = net_.path_delays();
+
+  for (const auto& [shard_idx, entry] : drained_) {
+    const std::uint32_t k = entry.offset;
+    const workload::Flow& flow = flows[begin + k];
+    core::EdgeSwitch& sw = *net_.switches_[src_sw_[k].value()];
+    // A rule installed finishing an earlier deferred flow of this span can
+    // already cover this packet — count it as the flow-table hit the
+    // sequential interleaving would have produced instead of double-
+    // charging the controller.
+    if (sw.flow_table().lookup(*entry.pkt, flow.start) != nullptr) {
+      ++stats_.drain_hits;
+      ++net_.metrics_->flows_flow_table_hit;
+      const SimDuration steady = paths.steady(src_sw_[k], dst_sw_[k]);
+      net_.account_flow_latency(flow, steady, steady, *net_.metrics_);
+    } else {
+      net_.finish_controller_flow(
+          flow, src_sw_[k], dst_sw_[k], *entry.pkt,
+          static_cast<core::Network::ControllerPathReason>(entry.reason),
+          *net_.metrics_);
+    }
+    shards_[shard_idx]->arena.check_in(entry.pkt);
+  }
+}
+
+}  // namespace lazyctrl::runtime

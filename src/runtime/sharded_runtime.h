@@ -1,0 +1,183 @@
+// Sharded parallel replay runtime with deterministic bounded-lag
+// synchronization.
+//
+// LazyCtrl's edge groups localize most traffic, which makes them natural
+// parallelism units: ShardedRuntime partitions the network's switches by
+// group onto N shards (ShardPlan), each serviced by its own worker thread,
+// and steps the replay in bounded-lag *window spans* — runs of consecutive
+// trace flows fenced by the next pending control-plane event
+// (Simulator::next_event_time()) and by the sync window derived from the
+// minimum cross-shard control-channel latency. Within a span every shard
+// drives the staged EdgeSwitch::decide_batch pipeline over its own
+// switches only (single-owner state, race-free by construction); shards
+// re-synchronize at the span barrier. The design follows the relaxed
+// barrier synchronization of parallel discrete-event simulators (Graphite
+// LCP-style lax/barrier quanta), specialized to the replay datapath.
+//
+// Two modes (Config.runtime.mode):
+//
+//  * kDeterministic — workers only pre-decide; all side effects (rule
+//    installs, controller queueing, metrics) commit on the coordinator in
+//    global flow order at the barrier, with a per-switch install log that
+//    re-decides any packet a span install covers (the cross-run
+//    generalization of the sequential batched datapath's staleness
+//    check). Metrics are bit-identical to the single-threaded
+//    Network::replay — enforced by tests/runtime_test.cpp.
+//
+//  * kFast — workers decide AND handle their shard-local outcomes into
+//    per-shard RunMetrics; only controller-bound flows cross the shard
+//    boundary, parked in the shard's net::PacketArena and queued through
+//    an SPSC ShardMailbox that the coordinator drains in flow order at
+//    the barrier (lag bounded by one sync window). Reproducible
+//    run-to-run from Config.seed, not bit-identical to sequential.
+//
+// Network::replay() delegates here when Config.runtime.num_shards > 1;
+// the runtime reuses all of Network's periodic machinery (stats windows,
+// state reports, DGM maintenance, scheduled migrations) through the
+// begin_replay()/end_replay() seam, so dynamic regrouping keeps working
+// under sharded replay — a grouping change bumps Network's grouping
+// epoch and the runtime re-partitions groups onto shards at the next
+// span boundary.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/edge_switch.h"
+#include "core/metrics.h"
+#include "core/network.h"
+#include "net/packet_arena.h"
+#include "openflow/flow_table.h"
+#include "runtime/shard_mailbox.h"
+#include "runtime/shard_plan.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::runtime {
+
+class ShardedRuntime {
+ public:
+  /// Binds to a bootstrapped Network. Worker threads are spawned by
+  /// replay() and joined before it returns (and by the destructor).
+  explicit ShardedRuntime(core::Network& net);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Replays the trace through the sharded datapath. Semantics (horizon,
+  /// periodic machinery, migrations) match Network::replay; results land
+  /// in the network's RunMetrics as usual. May be called once.
+  void replay(const workload::Trace& trace);
+
+  struct Stats {
+    std::uint64_t spans = 0;             ///< window spans processed
+    std::uint64_t flows = 0;             ///< flows routed through spans
+    std::uint64_t deferred_flows = 0;    ///< fast: crossed a shard mailbox
+    std::uint64_t drain_hits = 0;        ///< fast: deferred flow re-probed
+                                         ///< into a flow-table hit
+    std::uint64_t redecided_flows = 0;   ///< deterministic: staleness
+                                         ///< repairs at the merge
+    std::uint64_t repartitions = 0;      ///< shard-plan rebuilds observed
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Effective shard count (requested, clamped to groups/switches).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// The bounded-lag window in force (explicit knob or derived default).
+  [[nodiscard]] SimDuration sync_window() const noexcept {
+    return sync_window_;
+  }
+
+ private:
+  struct DeferSink;
+
+  /// Per-shard worker state. Everything here is touched by the owning
+  /// worker during a span and by the coordinator only between spans (the
+  /// barrier mutex orders the two).
+  struct Shard {
+    std::vector<std::uint32_t> offsets;  ///< span offsets owned, in order
+    net::PacketBatch packets;            ///< one packet per owned offset
+    core::EdgeSwitch::DecisionBatch decisions;  ///< aligned with packets
+    std::unique_ptr<core::RunMetrics> metrics;  ///< fast-mode local sink
+    net::PacketArena arena;              ///< fast-mode deferred packets
+    ShardMailbox mailbox;                ///< fast-mode crossings
+    /// Decorrelated per-shard stream of Config.seed. The datapath draws
+    /// no randomness on shard threads today (replay decisions are fully
+    /// deterministic), so this is the reserved generator any future
+    /// stochastic per-shard behaviour must use — never a shared Rng.
+    Rng rng;
+    std::uint32_t current_offset = 0;    ///< offset being handled (fast)
+
+    explicit Shard(Rng stream) : rng(stream) {}
+  };
+
+  void spawn_workers();
+  void stop_workers();
+  void worker_main(std::size_t shard_idx);
+
+  /// Rebuilds the switch->shard plan from the live grouping when the
+  /// grouping epoch moved (span boundaries only).
+  void refresh_plan();
+
+  /// Handles trace flows [begin, end) as one bounded-lag span: meta pass,
+  /// parallel phase, barrier, merge/drain.
+  void process_span(const std::vector<workload::Flow>& flows,
+                    std::size_t begin, std::size_t end);
+  void run_shard_deterministic(Shard& shard);
+  void run_shard_fast(Shard& shard);
+  void merge_deterministic(const std::vector<workload::Flow>& flows,
+                           std::size_t begin, std::size_t end);
+  void drain_fast(const std::vector<workload::Flow>& flows,
+                  std::size_t begin);
+
+  core::Network& net_;
+  SimDuration sync_window_ = 0;
+  bool fast_ = false;
+  bool replayed_ = false;
+
+  ShardPlan plan_;
+  std::uint64_t plan_epoch_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // --- span scratch (coordinator-owned, capacity reused across spans) ---
+  static constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+  /// The span workers are currently (or were last) working on: pointer to
+  /// the trace flows plus the span's first flow index. Published before
+  /// the work barrier, read by workers during the parallel phase.
+  const std::vector<workload::Flow>* span_flows_ = nullptr;
+  std::size_t span_begin_ = 0;
+  std::vector<SwitchId> src_sw_;             ///< per span offset
+  std::vector<SwitchId> dst_sw_;             ///< per span offset
+  std::vector<std::uint32_t> shard_of_flow_;  ///< per span offset
+  /// Position of the offset inside its shard's packets/decisions, or
+  /// kUnassigned for flows the coordinator handles itself (transition
+  /// windows).
+  std::vector<std::uint32_t> pos_;
+  /// Per-switch matches installed while merging the current span
+  /// (deterministic mode; exposed to Network via span_install_log_).
+  std::vector<std::vector<openflow::Match>> install_log_;
+  /// Drained mailbox entries, tagged with the owning shard for arena
+  /// check-in (fast mode).
+  std::vector<std::pair<std::uint32_t, DeferredFlow>> drained_;
+
+  // --- worker pool (barrier-synchronized per span) ---
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t span_seq_ = 0;
+  std::size_t done_count_ = 0;
+  bool shutdown_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace lazyctrl::runtime

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <memory>
 
 namespace lazyctrl::sim {
 
@@ -75,6 +76,22 @@ void Simulator::run_until(SimTime deadline) {
     dispatch(e);
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void schedule_cursor_chain(Simulator& sim, SimTime first_at,
+                           CursorStep step) {
+  auto chain = std::make_shared<std::function<void(std::size_t)>>();
+  std::weak_ptr<std::function<void(std::size_t)>> weak_chain = chain;
+  // `sim` outlives the chain: every reference to the continuation lives
+  // in the simulator's own callback storage (or on this stack frame).
+  *chain = [&sim, step = std::move(step), weak_chain](std::size_t i) {
+    const std::optional<std::pair<std::size_t, SimTime>> next = step(i);
+    if (!next.has_value()) return;
+    auto strong = weak_chain.lock();  // non-null: *strong is running
+    sim.schedule_at(next->second,
+                    [strong, idx = next->first] { (*strong)(idx); });
+  };
+  sim.schedule_at(first_at, [chain] { (*chain)(0); });
 }
 
 }  // namespace lazyctrl::sim

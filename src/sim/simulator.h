@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -102,5 +104,21 @@ class Simulator {
   std::unordered_map<EventId, Periodic> periodics_;
   std::unordered_set<EventId> cancelled_;
 };
+
+/// One link of a cursor chain: runs at its scheduled time with the
+/// current cursor, and returns the next (cursor, timestamp) to continue
+/// the chain — or nothing to end it.
+using CursorStep =
+    std::function<std::optional<std::pair<std::size_t, SimTime>>(
+        std::size_t)>;
+
+/// Schedules a self-continuing one-event-at-a-time cursor chain starting
+/// with cursor 0 at `first_at`. This owns the lifetime-sensitive pattern
+/// shared by the replay flow injectors (sequential, batched and sharded):
+/// the stored continuation holds only a weak self-reference — a strong
+/// one would form a shared_ptr cycle and leak it after every replay —
+/// while each scheduled event captures a strong reference, which is what
+/// keeps the chain alive across Simulator::run_until().
+void schedule_cursor_chain(Simulator& sim, SimTime first_at, CursorStep step);
 
 }  // namespace lazyctrl::sim

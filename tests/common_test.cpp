@@ -165,11 +165,71 @@ TEST(RngTest, ForkIsIndependentButDeterministic) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
 }
 
+TEST(RngTest, StreamsAreDeterministicAndDecorrelated) {
+  // Same (master seed, stream id) -> same sequence.
+  Rng a = Rng::stream(99, 3);
+  Rng b = Rng::stream(99, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  // Distinct stream ids diverge immediately, and deriving a stream does
+  // not perturb any other stream (unlike fork(), which advances the
+  // parent) — the property letting N shards draw from one Config.seed.
+  Rng s0 = Rng::stream(99, 0);
+  Rng s1 = Rng::stream(99, 1);
+  EXPECT_NE(s0.next_u64(), s1.next_u64());
+  Rng s0_again = Rng::stream(99, 0);
+  Rng s0_fresh = Rng::stream(99, 0);
+  (void)Rng::stream(99, 7);  // deriving other streams changes nothing
+  EXPECT_EQ(s0_again.next_u64(), s0_fresh.next_u64());
+}
+
 TEST(RunningStatsTest, Empty) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  const double xs[] = {3.0, -1.5, 8.0, 0.25, 12.0, 4.5};
+  for (int i = 0; i < 6; ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge_from(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+
+  // Merging into/with an empty accumulator is the identity.
+  RunningStats empty;
+  empty.merge_from(whole);
+  EXPECT_EQ(empty.count(), whole.count());
+  EXPECT_DOUBLE_EQ(empty.mean(), whole.mean());
+  whole.merge_from(RunningStats{});
+  EXPECT_EQ(whole.count(), empty.count());
+}
+
+TEST(TimeBucketSeriesTest, MergeAddsBucketwise) {
+  TimeBucketSeries a(kHour, 4 * kHour);
+  TimeBucketSeries b(kHour, 4 * kHour);
+  a.add(30 * kMinute, 2.0);
+  a.add(3 * kHour + kMinute, 5.0);
+  b.add(30 * kMinute, 1.0);
+  b.add_event(kHour + kMinute);
+  a.merge_from(b);
+  EXPECT_EQ(a.bucket_events(0), 2u);
+  EXPECT_DOUBLE_EQ(a.bucket_sum(0), 3.0);
+  EXPECT_EQ(a.bucket_events(1), 1u);
+  EXPECT_DOUBLE_EQ(a.bucket_sum(1), 1.0);
+  EXPECT_EQ(a.bucket_events(3), 1u);
+  EXPECT_DOUBLE_EQ(a.bucket_sum(3), 5.0);
 }
 
 TEST(RunningStatsTest, MeanMinMax) {

@@ -110,6 +110,39 @@ TEST(PacketArenaTest, GrowsByWholeBlocksAndPointersStayStable) {
   EXPECT_EQ(arena.block_count(), 4u);
 }
 
+TEST(PacketArenaTest, HighWaterMarkTracksPeakRetention) {
+  // The sharded runtime parks deferred controller-bound packets in a
+  // per-shard arena across each sync window; the high-water mark is the
+  // retention peak capacity converges to.
+  PacketArena arena(/*block_packets=*/4);
+  Packet proto;
+  EXPECT_EQ(arena.high_water_mark(), 0u);
+
+  // Wave 1: 6 concurrently live packets.
+  std::vector<Packet*> live;
+  for (int i = 0; i < 6; ++i) live.push_back(arena.check_out(proto));
+  EXPECT_EQ(arena.high_water_mark(), 6u);
+  for (Packet* p : live) arena.check_in(p);
+  live.clear();
+
+  // Wave 2 is smaller: the mark keeps the historical peak and the warmed
+  // arena reuses existing blocks — steady-state retention allocates
+  // nothing.
+  const std::size_t blocks = arena.block_count();
+  for (int i = 0; i < 4; ++i) live.push_back(arena.check_out(proto));
+  EXPECT_EQ(arena.high_water_mark(), 6u);
+  EXPECT_EQ(arena.block_count(), blocks);
+  for (Packet* p : live) arena.check_in(p);
+
+  // Wave 3 exceeds the peak: the mark follows.
+  live.clear();
+  for (int i = 0; i < 9; ++i) live.push_back(arena.check_out(proto));
+  EXPECT_EQ(arena.high_water_mark(), 9u);
+  EXPECT_GE(arena.capacity(), 9u);
+  for (Packet* p : live) arena.check_in(p);
+  EXPECT_EQ(arena.checked_out(), 0u);
+}
+
 TEST(PacketBatchTest, ClearKeepsCapacity) {
   PacketBatch batch(/*reserve_packets=*/8);
   Packet p;

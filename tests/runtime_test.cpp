@@ -1,0 +1,359 @@
+// Tests of the sharded parallel replay runtime (src/runtime).
+//
+// The load-bearing property is the deterministic mode's contract: replaying
+// any workload through N parallel shards produces metrics BIT-IDENTICAL to
+// the single-threaded Network::replay — including under DGM maintenance,
+// grouping transitions and mid-replay VM migration. Fast mode trades that
+// for throughput but must conserve flow accounting and stay reproducible
+// from one Config.seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/network.h"
+#include "runtime/shard_mailbox.h"
+#include "runtime/shard_plan.h"
+#include "runtime/sharded_runtime.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+#include "workload/intensity.h"
+
+namespace lazyctrl::runtime {
+namespace {
+
+using core::Config;
+using core::ControlMode;
+using core::Network;
+using core::RunMetrics;
+using core::RuntimeMode;
+
+topo::Topology test_topology(std::uint64_t seed = 31,
+                             std::size_t switches = 24,
+                             std::size_t tenants = 10) {
+  Rng rng(seed);
+  topo::MultiTenantOptions opt;
+  opt.switch_count = switches;
+  opt.tenant_count = tenants;
+  opt.min_vms_per_tenant = 10;
+  opt.max_vms_per_tenant = 30;
+  return topo::build_multi_tenant(opt, rng);
+}
+
+/// Drifting-locality trace: the DGM stress workload, with plenty of flows
+/// whose src/dst edge switches land in different groups (and therefore in
+/// different shards once every group gets its own shard).
+workload::Trace drifting_trace(const topo::Topology& topo, std::size_t flows,
+                               std::uint64_t seed = 32) {
+  Rng rng(seed);
+  workload::DriftingLocalityOptions opt;
+  opt.total_flows = flows;
+  opt.community_count = 4;
+  opt.phases = 4;
+  opt.horizon = 2 * kHour;
+  return workload::generate_drifting_locality(topo, opt, rng);
+}
+
+Config lazy_config(std::size_t limit = 8) {
+  Config c;
+  c.mode = ControlMode::kLazyCtrl;
+  c.grouping.group_size_limit = limit;
+  return c;
+}
+
+/// Full bit-level comparison of two metric records: every scalar counter,
+/// every time-series bucket, every RunningStats moment.
+void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.flows_seen, b.flows_seen);
+  EXPECT_EQ(a.packets_accounted, b.packets_accounted);
+  EXPECT_EQ(a.controller_packet_ins, b.controller_packet_ins);
+  EXPECT_EQ(a.flows_local_delivery, b.flows_local_delivery);
+  EXPECT_EQ(a.flows_intra_group, b.flows_intra_group);
+  EXPECT_EQ(a.flows_inter_group, b.flows_inter_group);
+  EXPECT_EQ(a.flows_flow_table_hit, b.flows_flow_table_hit);
+  EXPECT_EQ(a.bf_false_positive_copies, b.bf_false_positive_copies);
+  EXPECT_EQ(a.bf_misforward_drops, b.bf_misforward_drops);
+  EXPECT_EQ(a.peer_link_messages, b.peer_link_messages);
+  EXPECT_EQ(a.state_link_messages, b.state_link_messages);
+  EXPECT_EQ(a.control_link_messages, b.control_link_messages);
+  EXPECT_EQ(a.grouping_update_count, b.grouping_update_count);
+  EXPECT_EQ(a.preload_rules_installed, b.preload_rules_installed);
+  EXPECT_EQ(a.transition_punts, b.transition_punts);
+  EXPECT_EQ(a.dgm_rounds, b.dgm_rounds);
+  EXPECT_EQ(a.dgm_plans_applied, b.dgm_plans_applied);
+  EXPECT_EQ(a.dgm_switch_moves, b.dgm_switch_moves);
+  EXPECT_EQ(a.dgm_group_merges, b.dgm_group_merges);
+  EXPECT_EQ(a.dgm_group_splits, b.dgm_group_splits);
+  EXPECT_EQ(a.dgm_flow_mods, b.dgm_flow_mods);
+
+  const auto expect_series_eq = [](const TimeBucketSeries& x,
+                                   const TimeBucketSeries& y) {
+    ASSERT_EQ(x.bucket_count(), y.bucket_count());
+    for (std::size_t i = 0; i < x.bucket_count(); ++i) {
+      EXPECT_EQ(x.bucket_events(i), y.bucket_events(i));
+      EXPECT_EQ(x.bucket_sum(i), y.bucket_sum(i));  // bit-exact doubles
+    }
+  };
+  expect_series_eq(a.controller_requests, b.controller_requests);
+  expect_series_eq(a.packet_latency, b.packet_latency);
+  expect_series_eq(a.grouping_updates, b.grouping_updates);
+  expect_series_eq(a.flow_arrivals, b.flow_arrivals);
+  expect_series_eq(a.inter_group_arrivals, b.inter_group_arrivals);
+
+  const auto expect_stats_eq = [](const RunningStats& x,
+                                  const RunningStats& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+    EXPECT_EQ(x.sum(), y.sum());
+    EXPECT_EQ(x.variance(), y.variance());
+  };
+  expect_stats_eq(a.first_packet_latency_ms, b.first_packet_latency_ms);
+  expect_stats_eq(a.controller_queue_delay_ms, b.controller_queue_delay_ms);
+
+  // Catch-all through the canonical comparator: covers any field the
+  // granular expectations above don't enumerate (kept in lockstep with
+  // RunMetrics::merge_from).
+  EXPECT_TRUE(a.identical_to(b));
+}
+
+RunMetrics run_sequential(const topo::Topology& topo,
+                          const workload::Trace& trace, Config cfg,
+                          const graph::WeightedGraph* history = nullptr) {
+  cfg.runtime.num_shards = 1;
+  Network net(topo, cfg);
+  if (history != nullptr) {
+    net.bootstrap(*history);
+  } else {
+    net.bootstrap();
+  }
+  net.replay(trace);
+  return net.metrics();
+}
+
+RunMetrics run_sharded(const topo::Topology& topo,
+                       const workload::Trace& trace, Config cfg,
+                       std::size_t shards, RuntimeMode mode,
+                       const graph::WeightedGraph* history = nullptr,
+                       ShardedRuntime::Stats* stats_out = nullptr) {
+  cfg.runtime.num_shards = shards;
+  cfg.runtime.mode = mode;
+  Network net(topo, cfg);
+  if (history != nullptr) {
+    net.bootstrap(*history);
+  } else {
+    net.bootstrap();
+  }
+  ShardedRuntime sharded(net);
+  sharded.replay(trace);
+  if (stats_out != nullptr) *stats_out = sharded.stats();
+  return net.metrics();
+}
+
+TEST(ShardPlanTest, GroupsNeverStraddleShards) {
+  core::Grouping g;
+  g.switch_to_group = {0, 1, 2, 0, 1, 2, 0, 1, 2, 3, 3, 3};
+  g.group_count = 4;
+  const ShardPlan plan(g.switch_to_group.size(), g, 3);
+  EXPECT_EQ(plan.shard_count(), 3u);
+  // Every switch of one group must live on one shard.
+  std::vector<std::uint32_t> shard_of_group(g.group_count, 0xFFFFFFFFu);
+  for (std::size_t sw = 0; sw < g.switch_to_group.size(); ++sw) {
+    const std::uint32_t grp = g.switch_to_group[sw];
+    const std::uint32_t shard = plan.shard_of(SwitchId{
+        static_cast<std::uint32_t>(sw)});
+    if (shard_of_group[grp] == 0xFFFFFFFFu) {
+      shard_of_group[grp] = shard;
+    } else {
+      EXPECT_EQ(shard_of_group[grp], shard) << "group " << grp;
+    }
+  }
+  // All switches accounted for across shards.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    total += plan.shard_size(s);
+  }
+  EXPECT_EQ(total, g.switch_to_group.size());
+}
+
+TEST(ShardPlanTest, ClampsToGroupCountAndBalances) {
+  core::Grouping g;
+  g.switch_to_group = {0, 0, 0, 1, 1, 1};
+  g.group_count = 2;
+  const ShardPlan plan(6, g, 8);
+  EXPECT_EQ(plan.shard_count(), 2u);  // no empty worker shards
+  EXPECT_EQ(plan.shard_size(0), 3u);
+  EXPECT_EQ(plan.shard_size(1), 3u);
+}
+
+TEST(ShardPlanTest, UngroupedNetworkSplitsContiguously) {
+  const core::Grouping empty;
+  const ShardPlan plan(10, empty, 4);
+  EXPECT_EQ(plan.shard_count(), 4u);
+  // Contiguous ranges: shard index is monotone in switch id.
+  std::uint32_t last = 0;
+  for (std::uint32_t sw = 0; sw < 10; ++sw) {
+    const std::uint32_t s = plan.shard_of(SwitchId{sw});
+    EXPECT_GE(s, last);
+    last = s;
+  }
+  EXPECT_EQ(last, 3u);
+}
+
+TEST(ShardMailboxTest, FifoOrderAndCapacity) {
+  ShardMailbox box;
+  box.reserve(1000);
+  EXPECT_GE(box.capacity(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(box.push(DeferredFlow{i, 0, nullptr}));
+  }
+  DeferredFlow out;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ(out.offset, i);
+  }
+  EXPECT_FALSE(box.pop(out));
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(ShardedRuntimeTest, DeterministicIdenticalToSequentialLazyCtrl) {
+  const auto topo = test_topology();
+  const auto trace = drifting_trace(topo, 12000);
+  const auto history =
+      workload::build_intensity_graph(trace, topo, 0, kHour);
+  Config cfg = lazy_config();
+
+  const RunMetrics sequential = run_sequential(topo, trace, cfg, &history);
+  // Cross-shard coverage: the drifting-locality workload must carry flows
+  // whose src/dst straddle a group (= shard) boundary, or the test proves
+  // nothing about cross-shard handling.
+  ASSERT_GT(sequential.flows_inter_group + sequential.flows_intra_group, 0u);
+  ASSERT_GT(sequential.flows_inter_group, 0u);
+
+  for (const std::size_t shards : {2u, 4u, 16u}) {
+    ShardedRuntime::Stats stats;
+    const RunMetrics sharded =
+        run_sharded(topo, trace, cfg, shards, RuntimeMode::kDeterministic,
+                    &history, &stats);
+    SCOPED_TRACE(shards);
+    expect_bit_identical(sequential, sharded);
+    EXPECT_GT(stats.spans, 0u);
+    EXPECT_EQ(stats.flows, trace.flow_count());
+  }
+}
+
+TEST(ShardedRuntimeTest, DeterministicIdenticalUnderDgmAndMigration) {
+  // The stress case: DGM maintenance rounds, stats windows, grouping
+  // transitions and a mid-replay VM migration all interleave with window
+  // spans — and regrouping forces shard-plan rebuilds mid-replay.
+  const auto topo = test_topology(41);
+  const auto trace = drifting_trace(topo, 12000, 42);
+  const auto history =
+      workload::build_intensity_graph(trace, topo, 0, kHour);
+  Config cfg = lazy_config(6);
+  cfg.dgm.mode = core::DgmMode::kPeriodic;
+  cfg.dgm.maintenance_period = 10 * kMinute;
+  cfg.dgm.min_flow_evidence = 50.0;
+
+  const auto run = [&](std::size_t shards,
+                       ShardedRuntime::Stats* stats) -> RunMetrics {
+    Config c = cfg;
+    c.runtime.num_shards = shards;
+    Network net(topo, c);
+    net.bootstrap(history);
+    net.schedule_migration(HostId{3}, SwitchId{7}, kHour);
+    if (shards == 1) {
+      net.replay(trace);
+      return net.metrics();
+    }
+    ShardedRuntime sharded(net);
+    sharded.replay(trace);
+    if (stats != nullptr) *stats = sharded.stats();
+    return net.metrics();
+  };
+
+  const RunMetrics sequential = run(1, nullptr);
+  ASSERT_GT(sequential.dgm_rounds, 0u);  // DGM must actually be running
+
+  ShardedRuntime::Stats stats;
+  const RunMetrics sharded = run(4, &stats);
+  expect_bit_identical(sequential, sharded);
+  EXPECT_GT(stats.spans, 0u);
+}
+
+TEST(ShardedRuntimeTest, DeterministicIdenticalToSequentialOpenFlow) {
+  const auto topo = test_topology(51);
+  const auto trace = drifting_trace(topo, 8000, 52);
+  Config cfg;
+  cfg.mode = ControlMode::kOpenFlow;
+
+  const RunMetrics sequential = run_sequential(topo, trace, cfg);
+  const RunMetrics sharded =
+      run_sharded(topo, trace, cfg, 4, RuntimeMode::kDeterministic);
+  expect_bit_identical(sequential, sharded);
+}
+
+TEST(ShardedRuntimeTest, NetworkReplayDelegatesOnRuntimeConfig) {
+  // Network::replay with num_shards > 1 must route through the sharded
+  // runtime and still produce identical results.
+  const auto topo = test_topology(61);
+  const auto trace = drifting_trace(topo, 6000, 62);
+  const auto history =
+      workload::build_intensity_graph(trace, topo, 0, kHour);
+  Config cfg = lazy_config();
+
+  const RunMetrics sequential = run_sequential(topo, trace, cfg, &history);
+
+  cfg.runtime.num_shards = 4;
+  cfg.runtime.mode = RuntimeMode::kDeterministic;
+  Network net(topo, cfg);
+  net.bootstrap(history);
+  net.replay(trace);  // delegates internally
+  expect_bit_identical(sequential, net.metrics());
+}
+
+TEST(ShardedRuntimeTest, FastModeConservesFlowAccounting) {
+  const auto topo = test_topology(71);
+  const auto trace = drifting_trace(topo, 12000, 72);
+  const auto history =
+      workload::build_intensity_graph(trace, topo, 0, kHour);
+  Config cfg = lazy_config();
+  cfg.runtime.sync_window = 500 * kMillisecond;
+
+  const RunMetrics sequential = run_sequential(topo, trace, cfg, &history);
+  ShardedRuntime::Stats stats;
+  const RunMetrics fast = run_sharded(topo, trace, cfg, 4, RuntimeMode::kFast,
+                                      &history, &stats);
+
+  // Every flow is seen exactly once and lands in exactly one outcome
+  // bucket; every packet is accounted.
+  EXPECT_EQ(fast.flows_seen, trace.flow_count());
+  EXPECT_EQ(fast.flows_flow_table_hit + fast.flows_local_delivery +
+                fast.flows_intra_group + fast.flows_inter_group +
+                fast.transition_punts,
+            fast.flows_seen);
+  EXPECT_EQ(fast.packets_accounted, sequential.packets_accounted);
+  EXPECT_EQ(fast.first_packet_latency_ms.count(), fast.flows_seen);
+  // The controller path crossed shard mailboxes (arena-backed).
+  EXPECT_GT(stats.deferred_flows, 0u);
+}
+
+TEST(ShardedRuntimeTest, FastModeReproducibleFromSeed) {
+  const auto topo = test_topology(81);
+  const auto trace = drifting_trace(topo, 8000, 82);
+  const auto history =
+      workload::build_intensity_graph(trace, topo, 0, kHour);
+  Config cfg = lazy_config();
+  cfg.runtime.sync_window = 500 * kMillisecond;
+
+  const RunMetrics a =
+      run_sharded(topo, trace, cfg, 4, RuntimeMode::kFast, &history);
+  const RunMetrics b =
+      run_sharded(topo, trace, cfg, 4, RuntimeMode::kFast, &history);
+  expect_bit_identical(a, b);
+}
+
+}  // namespace
+}  // namespace lazyctrl::runtime

@@ -101,6 +101,44 @@ TEST(SimulatorTest, PeriodicCanCancelItself) {
   EXPECT_EQ(fires, 2);
 }
 
+TEST(SimulatorTest, CursorChainStepsOneEventAtATime) {
+  Simulator s;
+  std::vector<std::pair<std::size_t, SimTime>> seen;
+  const SimTime times[] = {5, 20, 21, 40};
+  schedule_cursor_chain(
+      s, times[0],
+      [&](std::size_t i) -> std::optional<std::pair<std::size_t, SimTime>> {
+        seen.push_back({i, s.now()});
+        // Exactly one pending chain event at a time.
+        EXPECT_LE(s.pending_events(), 1u);
+        if (i + 1 >= 4) return std::nullopt;
+        return {{i + 1, times[i + 1]}};
+      });
+  s.run();
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[i].first, i);
+    EXPECT_EQ(seen[i].second, times[i]);
+  }
+}
+
+TEST(SimulatorTest, CursorChainEndsWhenDeadlineCutsIt) {
+  // A chain cut short by run_until leaves a pending link but must not
+  // keep the simulator from finishing; destroying the simulator reclaims
+  // the stored continuation (the chain holds no strong self-reference).
+  Simulator s;
+  int steps = 0;
+  schedule_cursor_chain(
+      s, 0,
+      [&](std::size_t i) -> std::optional<std::pair<std::size_t, SimTime>> {
+        ++steps;
+        return {{i + 1, s.now() + 100}};
+      });
+  s.run_until(250);  // fires links at t=0, 100, 200; link at 300 pends
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
 TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
   Simulator s;
   s.run_until(1234);
