@@ -32,17 +32,31 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
         "throughput_deterministic_8shard_flows_per_sec",
         "speedup_fast_8shard", "deterministic_bit_identical", "cpu_cores"}},
       {"micro_datapath",
-       {"throughput_batched_flows_per_sec", "batched_speedup"}},
+       {"throughput_batched_flows_per_sec", "batched_speedup",
+        "gfib_scan_ns", "gfib_scan_sliced_ns", "gfib_scan_speedup"}},
   };
   return kRequired;
 }
 
+/// Extracts the median value of metric `key`, matching the harness
+/// emitter's exact shape `"key": {"value": <number>`. Returns false when
+/// the metric is absent or malformed.
+bool metric_value(const std::string& json_text, const std::string& key,
+                  double* out) {
+  const std::string needle = "\"" + key + "\": {\"value\": ";
+  const std::size_t at = json_text.find(needle);
+  if (at == std::string::npos) return false;
+  return std::sscanf(json_text.c_str() + at + needle.size(), "%lf", out) == 1;
+}
+
 /// True when the document carries a metric named `key`. Matches the
-/// harness emitter's exact metric-entry shape — `"key": {"value"` — so a
+/// harness emitter's exact metric-entry shape via metric_value (one
+/// needle definition for both the presence gate and the advisory), so a
 /// key quoted in free-text fields (title, paper_reference) or embedded in
 /// another metric's name cannot satisfy the gate.
 bool has_metric(const std::string& json_text, const std::string& key) {
-  return json_text.find("\"" + key + "\": {\"value\"") != std::string::npos;
+  double ignored;
+  return metric_value(json_text, key, &ignored);
 }
 
 }  // namespace
@@ -91,6 +105,21 @@ int main(int argc, char** argv) {
       if (!complete) {
         ++bad;
         continue;
+      }
+      // Non-fatal perf advisory: the bit-sliced G-FIB scan should beat
+      // the linear layout comfortably (the PR's acceptance floor is 2x at
+      // full scale; 1.5x here leaves headroom for noisy smoke runners).
+      // A warning, not a failure — smoke-scale timings are too jittery
+      // for a hard gate, but a silent regression should still be visible
+      // in the CI log.
+      if (name == "micro_datapath") {
+        double speedup = 0;
+        if (metric_value(buf.str(), "gfib_scan_speedup", &speedup) &&
+            speedup < 1.5) {
+          std::printf("WARNING %s: gfib_scan_speedup %.2fx < 1.5x "
+                      "(non-fatal; sliced G-FIB scan regressed?)\n",
+                      file.c_str(), speedup);
+        }
       }
       std::printf("ok      %s\n", file.c_str());
       found.insert(name);

@@ -31,12 +31,6 @@ void BloomBank::remove_filter(SwitchId peer) {
 
 void BloomBank::clear() { filters_.clear(); }
 
-std::vector<SwitchId> BloomBank::query(MacAddress mac) const {
-  std::vector<SwitchId> hits;
-  query_into(BloomHash::of(mac), hits);
-  return hits;
-}
-
 const BloomBank::Entry* BloomBank::find(SwitchId peer) const {
   const auto it = std::lower_bound(
       filters_.begin(), filters_.end(), peer,

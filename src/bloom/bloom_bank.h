@@ -36,12 +36,10 @@ class BloomBank {
 
   void clear();
 
-  /// All peers whose filter reports possible membership of `mac`,
-  /// in ascending SwitchId order (deterministic fan-out).
-  [[nodiscard]] std::vector<SwitchId> query(MacAddress mac) const;
-
-  /// Allocation-free variant: appends the matching peers (ascending id
-  /// order) to `out` without clearing it, reusing the caller's capacity.
+  /// Appends the matching peers (ascending id order) to `out` without
+  /// clearing it, reusing the caller's capacity — the ONLY query form, so
+  /// the steady-state datapath is allocation-free by construction (the
+  /// old vector-returning query() allocated per call and is gone).
   /// `h` is the precomputed hash of the queried MAC, so probing S-1
   /// filters costs one mixing pass instead of S-1.
   void query_into(BloomHash h, std::vector<SwitchId>& out) const {
@@ -52,6 +50,10 @@ class BloomBank {
 
   [[nodiscard]] bool has_filter(SwitchId peer) const {
     return find(peer) != nullptr;
+  }
+  /// Appends the installed peers (ascending id order) to `out`.
+  void peers_into(std::vector<SwitchId>& out) const {
+    for (const Entry& e : filters_) out.push_back(e.peer);
   }
   [[nodiscard]] const BloomFilter* filter(SwitchId peer) const;
   [[nodiscard]] std::size_t filter_count() const noexcept {

@@ -23,7 +23,8 @@ BloomParameters BloomParameters::for_target(std::size_t expected_items,
 
 BloomFilter::BloomFilter(BloomParameters params)
     : words_((std::max<std::size_t>(params.bits, 64) + 63) / 64),
-      hashes_(std::max<std::size_t>(params.hash_count, 1)) {}
+      hashes_(std::clamp<std::size_t>(params.hash_count, 1,
+                                      BloomParameters::kMaxHashCount)) {}
 
 void BloomFilter::clear() noexcept {
   std::fill(words_.begin(), words_.end(), 0);

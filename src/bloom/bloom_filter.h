@@ -60,6 +60,13 @@ struct BloomHash {
 
 /// Parameters for constructing a Bloom filter.
 struct BloomParameters {
+  /// Hard cap on `hash_count`. Both filter layouts (per-peer BloomFilter
+  /// and the bit-sliced SlicedBloomBank) clamp to this same bound, so the
+  /// probe sequences — and therefore the candidate sets — stay
+  /// bit-identical for any parameter choice. 64 is far beyond the optimum
+  /// k of any realistic geometry (k = -log2(p) ~ 30 at p = 1e-9).
+  static constexpr std::size_t kMaxHashCount = 64;
+
   /// Number of bits in the filter (rounded up to a multiple of 64).
   std::size_t bits = 1024;
   /// Number of hash functions.

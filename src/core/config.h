@@ -109,11 +109,28 @@ struct DgmConfig {
   double min_gain_fraction = 0.02;
 };
 
+/// Storage layout of the G-FIB Bloom bank. Both layouts hold the SAME
+/// bits and produce bit-identical candidate sets (including false
+/// positives) for any key; they differ only in memory order and therefore
+/// scan cost.
+enum class GFibLayout {
+  /// One independent filter per peer; a scan probes S-1 bit arrays
+  /// (O(S) cache lines). The paper's literal §III-D2 layout.
+  kLinear,
+  /// Bit-sliced (transposed): per bit position, a word-packed peer mask;
+  /// a scan ANDs k peer masks (O(k) cache lines regardless of group
+  /// size). See bloom::SlicedBloomBank.
+  kSliced,
+};
+
 struct FibConfig {
   /// Bloom-filter bits per G-FIB entry filter. The paper's sizing example
   /// uses 16 x 128-byte entries = 2048 bytes = 16384 bits per peer filter.
   std::size_t bloom_bits = 16384;
   std::size_t bloom_hashes = 8;
+  /// G-FIB bank layout; kSliced is the cache-interleaved fast scan,
+  /// kLinear the literal per-peer transcription (same candidate sets).
+  GFibLayout layout = GFibLayout::kSliced;
   /// Report mis-forwarded (false-positive) packets to the controller so it
   /// can install exact rules (§III-D4, optional).
   bool report_false_positives = false;

@@ -7,7 +7,8 @@ EdgeSwitch::EdgeSwitch(SwitchId id, IpAddress underlay_ip,
     : id_(id),
       underlay_ip_(underlay_ip),
       management_mac_(management_mac),
-      gfib_(BloomParameters{config.fib.bloom_bits, config.fib.bloom_hashes}),
+      gfib_(BloomParameters{config.fib.bloom_bits, config.fib.bloom_hashes},
+            config.fib.layout),
       table_(config.rules.flow_table_capacity),
       rule_ttl_(config.rules.rule_ttl) {}
 
@@ -36,11 +37,13 @@ EdgeSwitch::Decision EdgeSwitch::decide(const net::Packet& p, SimTime now,
     return d;
   }
 
-  // Step 3: G-FIB — candidates inside the local control group.
-  std::vector<SwitchId> candidates = gfib_.query(p.dst_mac);
-  if (!candidates.empty()) {
+  // Step 3: G-FIB — candidates inside the local control group (scratch-
+  // backed scan; the Decision only views the buffer).
+  decide_scratch_.clear();
+  gfib_.query_into(BloomHash::of(p.dst_mac), decide_scratch_);
+  if (!decide_scratch_.empty()) {
     d.kind = DecisionKind::kIntraGroup;
-    d.candidates = std::move(candidates);
+    d.candidates = decide_scratch_;
     return d;
   }
 
@@ -82,26 +85,71 @@ void EdgeSwitch::decide_batch(std::span<const net::Packet> batch,
   }
   open.resize(kept);
 
-  // Stage 3: grouped G-FIB scan. The hash of each destination is computed
-  // once and shared across all peer filters; a one-entry memo collapses
-  // bursts toward the same destination into a single scan.
-  std::uint64_t memo_key = 0;
-  bool memo_valid = false;
-  std::uint32_t memo_begin = 0;
-  std::uint32_t memo_end = 0;
+  // Stage 3: grouped G-FIB scan with a batch-wide destination memo: every
+  // distinct destination of the run is scanned exactly once (one hash
+  // mixing pass, one slice/filter walk) and all repeats — consecutive or
+  // interleaved — share that scan's candidate range in the pool. A
+  // one-entry fast path still catches bursts to one MAC without touching
+  // the table.
+  std::vector<DecisionBatch::MemoEntry>& entries = out.memo_entries_;
+  std::vector<std::uint64_t>& slots = out.memo_slots_;
+  entries.clear();
+  std::size_t cap = slots.size() < 16 ? 16 : slots.size();
+  while (cap < open.size() * 2) cap <<= 1;
+  if (cap != slots.size() || ++out.memo_gen_ == 0) {
+    // Grown table or wrapped generation: all stamps are stale, wipe once.
+    slots.assign(cap, 0);
+    out.memo_gen_ = 1;
+  }
+  // Per-call reset (the G-FIB differs per switch) is the generation bump
+  // above: older-generation slots read as empty below.
+  const std::size_t mask = cap - 1;
+  const std::uint64_t gen_tag = std::uint64_t{out.memo_gen_} << 32;
+
+  std::uint64_t last_key = 0;
+  std::uint32_t last_begin = 0;
+  std::uint32_t last_end = 0;
+  bool last_valid = false;
   for (const std::uint32_t i : open) {
     const std::uint64_t key = batch[i].dst_mac.bits();
-    if (!memo_valid || key != memo_key) {
-      memo_begin = static_cast<std::uint32_t>(out.pool_.size());
-      gfib_.query_into(BloomHash::of(key), out.pool_);
-      memo_end = static_cast<std::uint32_t>(out.pool_.size());
-      memo_key = key;
-      memo_valid = true;
+    std::uint32_t begin;
+    std::uint32_t end;
+    if (last_valid && key == last_key) {
+      begin = last_begin;
+      end = last_end;
+    } else {
+      // Open addressing on the avalanche-mixed MAC (linear probing; the
+      // table is at most half full so the walk terminates). The mix is
+      // the same h1 the Bloom probe sequence starts from, computed once.
+      const BloomHash h = BloomHash::of(key);
+      std::size_t slot = static_cast<std::size_t>(h.h1) & mask;
+      while (true) {
+        const std::uint64_t tagged = slots[slot];
+        if ((tagged >> 32) != out.memo_gen_) {  // stale or never used
+          begin = static_cast<std::uint32_t>(out.pool_.size());
+          gfib_.query_into(h, out.pool_);
+          end = static_cast<std::uint32_t>(out.pool_.size());
+          entries.push_back({key, begin, end});
+          slots[slot] = gen_tag | static_cast<std::uint32_t>(entries.size());
+          break;
+        }
+        const std::uint32_t e = static_cast<std::uint32_t>(tagged);
+        if (entries[e - 1].key == key) {
+          begin = entries[e - 1].begin;
+          end = entries[e - 1].end;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+      last_key = key;
+      last_begin = begin;
+      last_end = end;
+      last_valid = true;
     }
-    if (memo_begin != memo_end) {
+    if (begin != end) {
       out.decisions_[base + i].kind = DecisionKind::kIntraGroup;
-      out.decisions_[base + i].cand_begin = memo_begin;
-      out.decisions_[base + i].cand_end = memo_end;
+      out.decisions_[base + i].cand_begin = begin;
+      out.decisions_[base + i].cand_end = end;
     }
     // else: provably outside the group -> stays kToController (bulk punt).
   }

@@ -69,8 +69,12 @@ class EdgeSwitch {
     /// Valid for kFlowTableHit (points into the flow table; not stable
     /// across installs).
     const openflow::FlowRule* rule = nullptr;
-    /// Valid for kIntraGroup: candidate peers, ascending id order.
-    std::vector<SwitchId> candidates;
+    /// Valid for kIntraGroup: candidate peers, ascending id order. Views
+    /// the switch's internal scratch buffer — valid until the next
+    /// decide()/decide_batch() call on this switch, which is exactly the
+    /// consume-before-next-decide discipline of every call site and what
+    /// makes the single-packet path allocation-free too.
+    std::span<const SwitchId> candidates;
   };
 
   /// Runs the Fig. 5 routine for `p` under `mode`. In OpenFlow mode only
@@ -135,6 +139,27 @@ class EdgeSwitch {
     std::vector<BatchDecision> decisions_;
     std::vector<SwitchId> pool_;
     std::vector<std::uint32_t> scratch_;  ///< unresolved packet offsets
+
+    // Batch-wide G-FIB scan memo: open-addressing map from destination
+    // MAC to its candidate range in pool_, so every distinct destination
+    // of a run is scanned exactly once no matter how its packets
+    // interleave — all repeats share the slice (or filter) loads of the
+    // first scan. Rebuilt per decide_batch call (the G-FIB differs per
+    // switch); table storage is reused, so steady state stays
+    // allocation-free.
+    struct MemoEntry {
+      std::uint64_t key;
+      std::uint32_t begin;
+      std::uint32_t end;
+    };
+    std::vector<MemoEntry> memo_entries_;
+    /// Generation-tagged open-addressing slots: (generation << 32) |
+    /// (entry index + 1). A slot from an older generation reads as empty,
+    /// so resetting the memo between decide_batch calls is one counter
+    /// bump instead of a table-wide memset (which showed up as per-packet
+    /// overhead on runs with no repeated destinations).
+    std::vector<std::uint64_t> memo_slots_;
+    std::uint32_t memo_gen_ = 0;
   };
 
   /// Decides every packet of `batch` (all ingressing at this switch) and
@@ -173,6 +198,9 @@ class EdgeSwitch {
   SimDuration rule_ttl_;
   std::vector<std::uint64_t> window_flows_;  ///< indexed by peer switch id
   std::vector<SwitchId> window_touched_;     ///< peers with non-zero counts
+  /// Candidate scratch of the single-packet decide(); Decision::candidates
+  /// views it, so decide() performs no allocation after warm-up.
+  std::vector<SwitchId> decide_scratch_;
 };
 
 }  // namespace lazyctrl::core

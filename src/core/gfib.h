@@ -3,51 +3,107 @@
 // A Bloom-filter replica of every group peer's L-FIB. Queries return the
 // peers that may host a MAC; an empty result proves the destination is
 // outside the group and the packet must go to the controller.
+//
+// Two interchangeable storage layouts back the same query API (selected
+// by Config.fib.layout): the linear per-peer BloomBank of the paper, and
+// the bit-sliced SlicedBloomBank whose scan cost is O(k) cache lines
+// regardless of group size. Both produce bit-identical candidate sets for
+// the same BloomParameters/BloomHash (tests/sliced_bank_test.cpp).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "bloom/bloom_bank.h"
+#include "bloom/sliced_bloom_bank.h"
 #include "common/ids.h"
 #include "common/mac.h"
+#include "core/config.h"
 
 namespace lazyctrl::core {
 
 class GFib {
  public:
-  explicit GFib(BloomParameters params = {}) : bank_(params) {}
+  explicit GFib(BloomParameters params = {},
+                GFibLayout layout = GFibLayout::kSliced)
+      : layout_(layout), bank_(params), sliced_(params) {}
 
   /// Installs/replaces the filter summarising `peer`'s attached MACs.
   void sync_peer(SwitchId peer, const std::vector<MacAddress>& peer_macs) {
-    bank_.build_filter(peer, peer_macs);
+    if (layout_ == GFibLayout::kSliced) {
+      sliced_.build_filter(peer, peer_macs);
+    } else {
+      bank_.build_filter(peer, peer_macs);
+    }
   }
 
-  void remove_peer(SwitchId peer) { bank_.remove_filter(peer); }
-  void clear() { bank_.clear(); }
-
-  /// Candidate locations for `mac` (possibly with false positives).
-  [[nodiscard]] std::vector<SwitchId> query(MacAddress mac) const {
-    return bank_.query(mac);
+  void remove_peer(SwitchId peer) {
+    if (layout_ == GFibLayout::kSliced) {
+      sliced_.remove_filter(peer);
+    } else {
+      bank_.remove_filter(peer);
+    }
   }
 
-  /// Allocation-free hot-path variant: appends candidates (ascending id
+  void clear() {
+    if (layout_ == GFibLayout::kSliced) {
+      sliced_.clear();
+    } else {
+      bank_.clear();
+    }
+  }
+
+  /// Pre-sizes internal storage for `n` peers (a bulk rebuild hint; the
+  /// sliced bank lays out its row stride once instead of per 8 appended
+  /// columns). No-op for the linear layout.
+  void reserve_peers(std::size_t n) {
+    if (layout_ == GFibLayout::kSliced) sliced_.reserve_columns(n);
+  }
+
+  /// Allocation-free hot-path query: appends candidates (ascending id
   /// order) into `out`; `h` is the precomputed hash of the queried MAC so
   /// all peer filters share one mixing pass.
   void query_into(BloomHash h, std::vector<SwitchId>& out) const {
-    bank_.query_into(h, out);
+    if (layout_ == GFibLayout::kSliced) {
+      sliced_.query_into(h, out);
+    } else {
+      bank_.query_into(h, out);
+    }
   }
 
+  [[nodiscard]] bool has_peer(SwitchId peer) const {
+    return layout_ == GFibLayout::kSliced ? sliced_.has_filter(peer)
+                                          : bank_.has_filter(peer);
+  }
+
+  /// Appends the synced peers (ascending id order) to `out` — the diff
+  /// input of the delta-aware group rebuild (Network::rebuild_group_fib).
+  void peers_into(std::vector<SwitchId>& out) const {
+    if (layout_ == GFibLayout::kSliced) {
+      const std::vector<SwitchId>& p = sliced_.peers();
+      out.insert(out.end(), p.begin(), p.end());
+    } else {
+      bank_.peers_into(out);
+    }
+  }
+
+  [[nodiscard]] GFibLayout layout() const noexcept { return layout_; }
   [[nodiscard]] std::size_t peer_count() const noexcept {
-    return bank_.filter_count();
+    return layout_ == GFibLayout::kSliced ? sliced_.filter_count()
+                                          : bank_.filter_count();
   }
   [[nodiscard]] std::size_t storage_bytes() const noexcept {
-    return bank_.storage_bytes();
+    return layout_ == GFibLayout::kSliced ? sliced_.storage_bytes()
+                                          : bank_.storage_bytes();
   }
-  [[nodiscard]] const BloomBank& bank() const noexcept { return bank_; }
 
  private:
+  GFibLayout layout_;
+  // Only the selected layout is ever populated; the idle one stays empty
+  // (a BloomBank holds no storage until a filter is built, a
+  // SlicedBloomBank none until a column is inserted).
   BloomBank bank_;
+  bloom::SlicedBloomBank sliced_;
 };
 
 }  // namespace lazyctrl::core

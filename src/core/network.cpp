@@ -103,16 +103,31 @@ void Network::select_designated(const std::vector<SwitchId>& members) {
   }
 }
 
-void Network::rebuild_group_fib(const std::vector<SwitchId>& members) {
-  // Collect per-member MAC lists (excluded hosts are invisible to G-FIBs).
+void Network::rebuild_group_fib(const std::vector<SwitchId>& members,
+                                std::span<const SwitchId> changed_members) {
+  // Per-member MAC lists (excluded hosts are invisible to G-FIBs),
+  // collected lazily: the common delta outcome — nothing joined, nothing
+  // changed — needs no list at all, so e.g. the §III-D3 first-contact
+  // cascade resync costs a peer diff instead of O(group x hosts) vector
+  // fills per controller resolution.
   std::vector<std::vector<MacAddress>> macs(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    for (HostId h : topology_.hosts_on_switch(members[i])) {
-      if (!excluded_hosts_.contains(h.value())) {
-        macs[i].push_back(topology_.host_info(h).mac);
+  std::vector<bool> collected(members.size(), false);
+  const auto mac_list =
+      [&](std::size_t i) -> const std::vector<MacAddress>& {
+    if (!collected[i]) {
+      collected[i] = true;
+      for (HostId h : topology_.hosts_on_switch(members[i])) {
+        if (!excluded_hosts_.contains(h.value())) {
+          macs[i].push_back(topology_.host_info(h).mac);
+        }
       }
     }
-  }
+    return macs[i];
+  };
+  const auto changed = [&](SwitchId m) {
+    return std::find(changed_members.begin(), changed_members.end(), m) !=
+           changed_members.end();
+  };
   // Dissemination cost (§III-B3 peer links): each member sends its L-FIB to
   // the designated switch, which relays the bundle to every member.
   if (members.size() > 1) {
@@ -120,12 +135,79 @@ void Network::rebuild_group_fib(const std::vector<SwitchId>& members) {
   }
   metrics_->state_link_messages += 1;  // designated -> controller
 
+  // Delta sync: a peer filter already installed under the same id is
+  // bit-identical to what a rebuild would produce (filters derive from
+  // the topology's host lists and the fixed exclusion set), UNLESS that
+  // peer appears in `changed_members` — live host migration is the one
+  // event that rewrites a member's host set mid-run. Each member
+  // therefore only drops peers that left its group and syncs peers that
+  // joined or changed —
+  // under the sliced layout this is an incremental column delete/insert,
+  // never a full re-transpose; under the linear layout it skips the
+  // re-hash of every unchanged peer's host list. A DGM move of one switch
+  // costs every member O(1) peer syncs instead of O(group).
+  //
+  // When the membership churn is large (initial build, IncUpdate merges
+  // and splits), per-peer deltas degenerate into many mid-bank column
+  // shifts, so past a half-the-group threshold the member rebuilds from
+  // scratch instead — in ascending id order, which the sliced bank turns
+  // into pure column appends (no shifting at all). Both paths produce
+  // identical bank contents.
+  std::vector<std::size_t> order(members.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return members[a] < members[b];
+  });
+  std::vector<SwitchId> target(members);
+  std::sort(target.begin(), target.end());
+  std::vector<SwitchId> existing;
   for (std::size_t i = 0; i < members.size(); ++i) {
     EdgeSwitch& sw = *switches_[members[i].value()];
-    sw.gfib().clear();
+    existing.clear();
+    sw.gfib().peers_into(existing);
+    std::size_t kept = 0;
+    for (SwitchId p : existing) {
+      if (p != members[i] &&
+          std::binary_search(target.begin(), target.end(), p)) {
+        ++kept;
+      }
+    }
+    const std::size_t peers_wanted = members.size() - 1;
+    const std::size_t churn = (existing.size() - kept) +  // to remove
+                              (peers_wanted - kept);      // to add
+    // Bulk threshold is layout-aware: a sliced-bank mid-column
+    // insert/delete is an O(filter bits) table pass, while an
+    // ascending-order rebuild is pure appends (no shifting) costing
+    // about ONE such pass — so two or more structural changes already
+    // favour the rebuild. Linear filters are independent arrays, where
+    // per-peer deltas stay cheaper until churn approaches half the
+    // group.
+    const bool bulk = sw.gfib().layout() == GFibLayout::kSliced
+                          ? churn > 1
+                          : churn * 2 > peers_wanted;
+    if (bulk) {
+      sw.gfib().clear();
+      sw.gfib().reserve_peers(peers_wanted);
+      for (const std::size_t j : order) {
+        if (j == i) continue;
+        sw.gfib().sync_peer(members[j], mac_list(j));
+      }
+      continue;
+    }
+    for (SwitchId p : existing) {
+      if (p == members[i] ||
+          !std::binary_search(target.begin(), target.end(), p)) {
+        sw.gfib().remove_peer(p);
+      }
+    }
     for (std::size_t j = 0; j < members.size(); ++j) {
       if (i == j) continue;
-      sw.gfib().sync_peer(members[j], macs[j]);
+      // A present peer's filter is kept UNLESS its host set changed (a
+      // live host migration re-attached a host there or took one away) —
+      // keeping a stale filter would mis-forward toward the old location
+      // and silently break the no-false-negative guarantee at the new.
+      if (sw.gfib().has_peer(members[j]) && !changed(members[j])) continue;
+      sw.gfib().sync_peer(members[j], mac_list(j));
     }
   }
 }
@@ -695,15 +777,20 @@ void Network::perform_migration(HostId host, SwitchId to) {
 
   if (config_.mode == ControlMode::kLazyCtrl &&
       controller_.grouping().group_count > 0) {
+    // Both endpoints' host sets changed, so their filters must be force
+    // rebuilt at every group peer — the delta resync would otherwise keep
+    // the (now stale) installed filters.
     const auto members = controller_.grouping().members();
-    const auto refresh = [&](SwitchId changed) {
-      const GroupId g = controller_.grouping().group_of(changed);
-      rebuild_group_fib(members[g.value()]);
-    };
-    refresh(from);
-    if (controller_.grouping().group_of(from) !=
-        controller_.grouping().group_of(to)) {
-      refresh(to);
+    const GroupId gf = controller_.grouping().group_of(from);
+    const GroupId gt = controller_.grouping().group_of(to);
+    if (gf == gt) {
+      const SwitchId changed[] = {from, to};
+      rebuild_group_fib(members[gf.value()], changed);
+    } else {
+      const SwitchId changed_from[] = {from};
+      rebuild_group_fib(members[gf.value()], changed_from);
+      const SwitchId changed_to[] = {to};
+      rebuild_group_fib(members[gt.value()], changed_to);
     }
   }
 }

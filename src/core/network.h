@@ -267,7 +267,14 @@ class Network : private dgm::GroupingHost {
 
   void apply_grouping(Grouping grouping, bool initial,
                       const std::vector<GroupId>& touched);
-  void rebuild_group_fib(const std::vector<SwitchId>& members);
+  /// Brings every member's G-FIB in sync with the group. Normally a
+  /// delta pass (peers whose filters exist are kept: host attachment is
+  /// derived from the topology, so an installed filter is already
+  /// correct); `changed_members` lists members whose own host set just
+  /// changed (live host migration) and whose filters must be rebuilt at
+  /// every peer even though they are present.
+  void rebuild_group_fib(const std::vector<SwitchId>& members,
+                         std::span<const SwitchId> changed_members = {});
   void select_designated(const std::vector<SwitchId>& members);
   void compute_excluded_hosts();
   void rebuild_failure_wheels();

@@ -6,7 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -19,20 +19,43 @@ class Channel {
       : simulator_(&simulator), latency_(latency) {}
 
   /// Delivers `on_delivery` after the channel latency. Returns false (and
-  /// drops the message, counting it) when the channel is down.
-  bool deliver(std::function<void()> on_delivery);
+  /// drops the message, counting it) when the channel is down. Templated
+  /// so the callable moves straight into the simulator's EventFn slot —
+  /// no intermediate std::function materialization (which would bring
+  /// back the per-event heap allocation EventFn exists to remove).
+  template <typename F>
+  bool deliver(F&& on_delivery) {
+    if (!up_) {
+      ++dropped_;
+      return false;
+    }
+    ++delivered_;
+    simulator_->schedule_after(latency_, std::forward<F>(on_delivery));
+    return true;
+  }
 
   /// Delivers a batch of `count` messages as ONE scheduled event firing
   /// after the channel latency: `on_delivery(count)` runs once and the
   /// delivered counter advances by `count` — one queue push/pop and one
-  /// callback allocation amortised over the whole batch instead of per
+  /// scheduled callback amortised over the whole batch instead of per
   /// message. (core::Network currently models controller punts
   /// arithmetically rather than through channels, so this is the sim-layer
   /// batching primitive for channel-driven components.) Returns false and
   /// drops all `count` messages when the channel is down. A zero-count
   /// batch is a no-op returning true.
-  bool deliver_batch(std::size_t count,
-                     std::function<void(std::size_t)> on_delivery);
+  template <typename F>
+  bool deliver_batch(std::size_t count, F&& on_delivery) {
+    if (count == 0) return true;
+    if (!up_) {
+      dropped_ += count;
+      return false;
+    }
+    delivered_ += count;
+    simulator_->schedule_after(
+        latency_,
+        [count, cb = std::forward<F>(on_delivery)]() mutable { cb(count); });
+    return true;
+  }
 
   void set_up(bool up) noexcept { up_ = up; }
   [[nodiscard]] bool is_up() const noexcept { return up_; }

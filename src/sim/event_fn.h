@@ -1,0 +1,115 @@
+// EventFn: a small-buffer-optimized, move-only void() callable.
+//
+// The simulator schedules one callback per event; with std::function the
+// capture block of anything beyond ~2 pointers (libstdc++ inlines only 16
+// bytes) lands on the heap, so every scheduled event on the replay hot
+// path paid one allocation just to exist. EventFn stores captures up to
+// kInlineBytes directly inside the object (the common case: the cursor
+// chain's shared_ptr + index, a channel delivery's bound state) and only
+// falls back to the heap for oversized callables, keeping full generality.
+//
+// Move-only by design: the simulator moves the callback out of its slot
+// to invoke it, never copies — and accepting move-only captures (arena
+// handles, unique_ptrs) is exactly what std::function could not do.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lazyctrl::sim {
+
+class EventFn {
+ public:
+  /// Inline capture capacity. 56 bytes + vtable pointer keeps the object
+  /// at one cache line; every callback the library schedules today fits.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable sink
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-construct into `dst` from `src`, then destroy `src`'s value.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* s) { (*std::launder(static_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { std::launder(static_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* s) { (**std::launder(static_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* s) { delete *std::launder(static_cast<Fn**>(s)); },
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace lazyctrl::sim

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "sim/event_fn.h"
 
 namespace lazyctrl::sim {
 
@@ -25,7 +26,11 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer-optimized move-only callable: scheduling an event whose
+  /// captures fit EventFn::kInlineBytes performs no callback allocation
+  /// (std::function heap-allocated anything beyond ~2 pointers, one
+  /// allocation per scheduled event on the replay hot path).
+  using Callback = EventFn;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;

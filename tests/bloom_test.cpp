@@ -135,12 +135,21 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(8192, 2, 400),
                       std::make_tuple(65536, 6, 2000)));
 
+
+/// Test-side convenience over the allocation-free query_into (the
+/// vector-returning BloomBank::query was removed from the datapath API).
+std::vector<SwitchId> query_bank(const BloomBank& bank, MacAddress mac) {
+  std::vector<SwitchId> hits;
+  bank.query_into(BloomHash::of(mac), hits);
+  return hits;
+}
+
 TEST(BloomBankTest, QueryFindsOwningPeer) {
   BloomBank bank(BloomParameters{4096, 4});
   const MacAddress mac = MacAddress::for_host(5);
   bank.build_filter(SwitchId{1}, {mac});
   bank.build_filter(SwitchId{2}, {MacAddress::for_host(6)});
-  const auto hits = bank.query(mac);
+  const auto hits = query_bank(bank, mac);
   ASSERT_FALSE(hits.empty());
   EXPECT_EQ(hits.front(), SwitchId{1});
 }
@@ -151,7 +160,7 @@ TEST(BloomBankTest, QueryReturnsSortedSwitchIds) {
   bank.build_filter(SwitchId{5}, {mac});
   bank.build_filter(SwitchId{2}, {mac});
   bank.build_filter(SwitchId{9}, {mac});
-  const auto hits = bank.query(mac);
+  const auto hits = query_bank(bank, mac);
   ASSERT_EQ(hits.size(), 3u);
   EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
 }
@@ -160,9 +169,9 @@ TEST(BloomBankTest, RemoveFilterStopsMatching) {
   BloomBank bank;
   const MacAddress mac = MacAddress::for_host(1);
   bank.build_filter(SwitchId{3}, {mac});
-  ASSERT_EQ(bank.query(mac).size(), 1u);
+  ASSERT_EQ(query_bank(bank, mac).size(), 1u);
   bank.remove_filter(SwitchId{3});
-  EXPECT_TRUE(bank.query(mac).empty());
+  EXPECT_TRUE(query_bank(bank, mac).empty());
   EXPECT_EQ(bank.filter_count(), 0u);
 }
 
@@ -177,7 +186,7 @@ TEST(BloomBankTest, StorageGrowsLinearlyWithPeers) {
 
 TEST(BloomBankTest, EmptyBankQueriesEmpty) {
   BloomBank bank;
-  EXPECT_TRUE(bank.query(MacAddress::for_host(0)).empty());
+  EXPECT_TRUE(query_bank(bank, MacAddress::for_host(0)).empty());
   EXPECT_EQ(bank.storage_bytes(), 0u);
 }
 

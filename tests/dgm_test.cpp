@@ -417,8 +417,9 @@ std::uint64_t run_and_check(const DriftScenario& s, core::ControlMode mode,
         for (SwitchId peer : group) {
           if (peer == sw) continue;
           for (HostId h : s.topo.hosts_on_switch(peer)) {
-            const auto candidates =
-                es.gfib().query(s.topo.host_info(h).mac);
+            std::vector<SwitchId> candidates;
+            es.gfib().query_into(BloomHash::of(s.topo.host_info(h).mac),
+                                 candidates);
             EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
                                   peer) != candidates.end());
           }

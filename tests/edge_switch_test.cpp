@@ -206,5 +206,36 @@ TEST(EdgeSwitchBatchTest, BurstToOneDestinationSharesCandidates) {
   }
 }
 
+TEST(EdgeSwitchBatchTest, InterleavedRepeatsShareOneScan) {
+  // The batch-wide memo must collapse NON-consecutive repeats too: an
+  // A,B,A,B,... pattern performs one G-FIB scan per distinct destination
+  // (observable as identical candidate ranges in the shared pool) while
+  // still matching per-packet decide() results.
+  EdgeSwitch sw = make_switch();
+  sw.gfib().sync_peer(SwitchId{3}, {MacAddress::for_host(4)});
+  sw.gfib().sync_peer(SwitchId{7}, {MacAddress::for_host(5)});
+
+  std::vector<net::Packet> batch;
+  for (int rep = 0; rep < 6; ++rep) {
+    batch.push_back(packet_to(4));
+    batch.push_back(packet_to(5));
+  }
+  EdgeSwitch::DecisionBatch out;
+  sw.decide_batch(batch, ControlMode::kLazyCtrl, out);
+  ASSERT_EQ(out.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out[i].kind, EdgeSwitch::DecisionKind::kIntraGroup);
+    ASSERT_EQ(out.candidates(out[i]).size(), 1u);
+    EXPECT_EQ(out.candidates(out[i])[0],
+              i % 2 == 0 ? SwitchId{3} : SwitchId{7});
+    if (i >= 2) {
+      // Memo hit: the same pool range as the first occurrence, not a
+      // fresh scan appended to the pool.
+      EXPECT_EQ(out[i].cand_begin, out[i - 2].cand_begin);
+      EXPECT_EQ(out[i].cand_end, out[i - 2].cand_end);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lazyctrl::core

@@ -223,6 +223,23 @@ TEST(NetworkTest, MigrationUpdatesLocationState) {
   EXPECT_TRUE(net.edge_switch(to).lfib().contains(mac));
   EXPECT_EQ(net.controller().clib_lookup(mac)->attached_switch, to);
   EXPECT_EQ(net.topology().host_info(host).attached_switch, to);
+
+  // G-FIB freshness: every group peer of `to` must now find the migrated
+  // MAC behind `to` (Bloom filters have no false negatives), even though
+  // `to`'s filter was already installed before the move — the delta
+  // resync must treat migration-changed members as dirty, not keep the
+  // stale filter.
+  const auto members = net.grouping().members();
+  const auto& to_group =
+      members[net.grouping().group_of(to).value()];
+  for (SwitchId peer : to_group) {
+    if (peer == to) continue;
+    std::vector<SwitchId> candidates;
+    net.edge_switch(peer).gfib().query_into(BloomHash::of(mac), candidates);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), to),
+              candidates.end())
+        << "peer " << peer << " has a stale filter for " << to;
+  }
 }
 
 TEST(NetworkTest, ColdCacheLatencyOrdering) {

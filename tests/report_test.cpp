@@ -18,7 +18,7 @@ struct Runs {
   std::unique_ptr<Network> baseline;
 };
 
-Runs make_runs() {
+Runs make_runs_impl() {
   Rng rng(1);
   topo::MultiTenantOptions topt;
   topt.switch_count = 10;
@@ -45,8 +45,17 @@ Runs make_runs() {
   return r;
 }
 
+/// The replay pair is immutable once built, so every test shares ONE
+/// build instead of re-running both replays per test — 5x less work per
+/// binary invocation, keeping report_test far inside the per-test ctest
+/// timeout budget on slow runners.
+const Runs& make_runs() {
+  static const Runs runs = make_runs_impl();
+  return runs;
+}
+
 TEST(ReportTest, LazyCtrlReportMentionsGroupState) {
-  const Runs r = make_runs();
+  const Runs& r = make_runs();
   const std::string report = report_string(*r.lazy);
   EXPECT_NE(report.find("LazyCtrl run"), std::string::npos);
   EXPECT_NE(report.find("groups:"), std::string::npos);
@@ -55,14 +64,14 @@ TEST(ReportTest, LazyCtrlReportMentionsGroupState) {
 }
 
 TEST(ReportTest, OpenFlowReportOmitsGroupState) {
-  const Runs r = make_runs();
+  const Runs& r = make_runs();
   const std::string report = report_string(*r.baseline);
   EXPECT_NE(report.find("OpenFlow run"), std::string::npos);
   EXPECT_EQ(report.find("G-FIB"), std::string::npos);
 }
 
 TEST(ReportTest, SeriesCanBeSuppressed) {
-  const Runs r = make_runs();
+  const Runs& r = make_runs();
   ReportOptions opt;
   opt.include_series = false;
   const std::string report = report_string(*r.lazy, opt);
@@ -70,7 +79,7 @@ TEST(ReportTest, SeriesCanBeSuppressed) {
 }
 
 TEST(ReportTest, ComparisonEndsWithReduction) {
-  const Runs r = make_runs();
+  const Runs& r = make_runs();
   std::ostringstream oss;
   write_comparison(oss, *r.baseline, *r.lazy);
   const std::string s = oss.str();
@@ -81,7 +90,7 @@ TEST(ReportTest, ComparisonEndsWithReduction) {
 }
 
 TEST(ReportTest, CountersMatchMetrics) {
-  const Runs r = make_runs();
+  const Runs& r = make_runs();
   const std::string report = report_string(*r.lazy);
   EXPECT_NE(report.find(std::to_string(r.lazy->metrics().flows_seen)),
             std::string::npos);

@@ -1,6 +1,9 @@
 // Tests for the discrete-event simulator and latency channels.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include <string>
 #include <vector>
 
@@ -309,6 +312,70 @@ TEST(ChannelTest, BatchOrderingMatchesSingleDeliveries) {
   EXPECT_EQ(order_a,
             (std::vector<std::string>{"batch3", "single1", "single2"}));
   EXPECT_EQ(order_a, order_b);
+}
+
+
+// --- EventFn (small-buffer-optimized event callback) ---
+
+TEST(EventFnTest, InvokesInlineAndMoves) {
+  int hits = 0;
+  EventFn f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+  EventFn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  g();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFnTest, AcceptsMoveOnlyCaptures) {
+  // std::function required copyable callables; the simulator's callback
+  // type must not — arena handles and unique_ptrs ride in captures.
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  EventFn f([p = std::move(owned), &got] { got = *p + 1; });
+  f();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventFnTest, OversizedCapturesFallBackToHeap) {
+  // Captures beyond the inline buffer still work (heap fallback keeps
+  // full generality); the destructor must run exactly once.
+  struct Big {
+    std::array<std::uint64_t, 32> payload{};  // 256 B > kInlineBytes
+    std::shared_ptr<int> live;
+  };
+  Big big;
+  big.payload[7] = 99;
+  big.live = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = big.live;
+  std::uint64_t seen = 0;
+  {
+    EventFn f([big = std::move(big), &seen] { seen = big.payload[7]; });
+    static_assert(sizeof(Big) > EventFn::kInlineBytes);
+    f();
+    EXPECT_EQ(seen, 99u);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destroyed with the EventFn
+}
+
+TEST(EventFnTest, ScheduledEventsRunThroughEventFn) {
+  // End-to-end through the simulator: a scheduled move-only callback
+  // fires once and periodic callbacks survive repeated invocation.
+  Simulator s;
+  auto token = std::make_unique<int>(5);
+  int total = 0;
+  s.schedule_at(10, [t = std::move(token), &total] { total += *t; });
+  int periodic_runs = 0;
+  const EventId p = s.schedule_periodic(7, [&periodic_runs] {
+    ++periodic_runs;
+  });
+  s.run_until(24);
+  s.cancel(p);
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(periodic_runs, 3);  // t = 7, 14, 21
 }
 
 }  // namespace
