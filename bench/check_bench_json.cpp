@@ -38,6 +38,16 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
   return kRequired;
 }
 
+/// Scenario-engine outputs (lazyctrl_run emits BENCH_scenario_<name>.json
+/// through the same schema-v1 path): every scenario run must carry the
+/// core accounting series plus the rerun-determinism verdict.
+const std::vector<std::string>& scenario_required_metrics() {
+  static const std::vector<std::string> kRequired = {
+      "flows_total", "controller_packet_ins", "events_applied",
+      "deterministic_rerun_identical"};
+  return kRequired;
+}
+
 /// Extracts the median value of metric `key`, matching the harness
 /// emitter's exact shape `"key": {"value": <number>`. Returns false when
 /// the metric is absent or malformed.
@@ -92,14 +102,34 @@ int main(int argc, char** argv) {
       const std::string name =
           file.substr(6, file.size() - 6 - 5);  // strip BENCH_ and .json
       bool complete = true;
+      const std::vector<std::string>* required = nullptr;
       if (const auto it = required_metrics().find(name);
           it != required_metrics().end()) {
-        for (const std::string& key : it->second) {
+        required = &it->second;
+      } else if (name.rfind("scenario_", 0) == 0) {
+        required = &scenario_required_metrics();
+      }
+      if (required != nullptr) {
+        for (const std::string& key : *required) {
           if (!has_metric(buf.str(), key)) {
             std::fprintf(stderr, "INVALID %s: required metric \"%s\" missing\n",
                          file.c_str(), key.c_str());
             complete = false;
           }
+        }
+      }
+      // A scenario that failed its rerun-determinism check is a bug even
+      // when the document itself is schema-valid.
+      if (complete && name.rfind("scenario_", 0) == 0) {
+        double deterministic = 1.0;
+        if (metric_value(buf.str(), "deterministic_rerun_identical",
+                         &deterministic) &&
+            deterministic != 1.0) {
+          std::fprintf(stderr,
+                       "INVALID %s: deterministic_rerun_identical = %g "
+                       "(scenario reruns diverged)\n",
+                       file.c_str(), deterministic);
+          complete = false;
         }
       }
       if (!complete) {

@@ -22,6 +22,27 @@ for md in README.md docs/*.md; do
   done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" | sed -E 's/.*\(([^)]+)\)/\1/')
 done
 
+# Scenario coverage: every path that looks like examples/scenarios/*.scn
+# mentioned anywhere in README.md or docs/*.md must exist on disk (these
+# usually sit in code blocks, which the link check above does not see),
+# and every committed scenario must be documented in docs/SCENARIOS.md.
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  while IFS= read -r ref; do
+    if [ ! -f "$ref" ]; then
+      echo "MISSING SCENARIO referenced in $md: $ref"
+      fail=1
+    fi
+  done < <(grep -ohE 'examples/scenarios/[A-Za-z0-9_.-]+\.scn' "$md" | sort -u)
+done
+for scn in examples/scenarios/*.scn; do
+  [ -f "$scn" ] || continue
+  if ! grep -q "$(basename "$scn")" docs/SCENARIOS.md 2>/dev/null; then
+    echo "UNDOCUMENTED SCENARIO: $scn is not mentioned in docs/SCENARIOS.md"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "doc link check FAILED"
   exit 1

@@ -26,6 +26,8 @@ struct LatencyModel {
   /// Controller service time per request (1 / capacity). The paper cites
   /// ~30K requests/s for commodity controllers; scaled runs keep the ratio.
   SimDuration controller_service = 50 * kMicrosecond;
+
+  bool operator==(const LatencyModel&) const = default;
 };
 
 struct ControllerConfig {
@@ -33,6 +35,8 @@ struct ControllerConfig {
   /// (§III-B2: "a logical controller comprised of a cluster of servers").
   /// Requests go to the earliest-free server (M/D/k-style FIFO).
   std::size_t servers = 1;
+
+  bool operator==(const ControllerConfig&) const = default;
 };
 
 struct GroupingConfig {
@@ -66,6 +70,8 @@ struct GroupingConfig {
   /// Appendix B: exclude hosts of switches serving more tenants than this
   /// from grouping (0 = feature off); their flows go to the controller.
   std::size_t host_exclusion_tenant_threshold = 0;
+
+  bool operator==(const GroupingConfig&) const = default;
 };
 
 /// Dynamic Group Maintenance (the src/dgm subsystem): keeps switch groups
@@ -107,6 +113,8 @@ struct DgmConfig {
   /// A planned action must improve its local objective by at least this
   /// fraction to be committed (marginal gains on sampled estimates churn).
   double min_gain_fraction = 0.02;
+
+  bool operator==(const DgmConfig&) const = default;
 };
 
 /// Storage layout of the G-FIB Bloom bank. Both layouts hold the SAME
@@ -134,6 +142,8 @@ struct FibConfig {
   /// Report mis-forwarded (false-positive) packets to the controller so it
   /// can install exact rules (§III-D4, optional).
   bool report_false_positives = false;
+
+  bool operator==(const FibConfig&) const = default;
 };
 
 struct RuleConfig {
@@ -141,6 +151,8 @@ struct RuleConfig {
   SimDuration rule_ttl = 60 * kSecond;
   /// Per-switch flow-table capacity (0 = unlimited).
   std::size_t flow_table_capacity = 0;
+
+  bool operator==(const RuleConfig&) const = default;
 };
 
 /// Batched hot-path datapath (the replay() fast path).
@@ -152,6 +164,8 @@ struct BatchConfig {
   /// identical forwarding decisions and metrics — batching only amortises
   /// event scheduling and per-decision allocation across the batch.
   std::size_t flow_batch_size = 64;
+
+  bool operator==(const BatchConfig&) const = default;
 };
 
 /// Sharded parallel replay (the src/runtime subsystem): partitions the
@@ -190,6 +204,8 @@ struct RuntimeConfig {
   /// scratch memory.
   SimDuration sync_window = 0;
   RuntimeMode mode = RuntimeMode::kDeterministic;
+
+  bool operator==(const RuntimeConfig&) const = default;
 };
 
 /// Full configuration of a run; every subsystem documents its own knobs
@@ -226,6 +242,8 @@ struct Config {
   SimDuration switch_reboot_delay = 10 * kSecond;
   /// Master seed for all run randomness; equal seeds replay bit-identically.
   std::uint64_t seed = 1;
+
+  bool operator==(const Config&) const = default;
 };
 
 }  // namespace lazyctrl::core

@@ -27,7 +27,7 @@ SimTime CentralController::admit_request(SimTime arrival) {
   ++window_requests_;
   // Earliest-free server of the cluster takes the request.
   auto it = std::min_element(servers_free_at_.begin(), servers_free_at_.end());
-  const SimTime start = std::max(arrival, *it);
+  const SimTime start = std::max({arrival, *it, outage_until_});
   const SimTime done = start + config_.latency.controller_service;
   *it = done;
   return done;

@@ -49,6 +49,18 @@ class CentralController {
     return servers_free_at_.size();
   }
 
+  /// Outage injection (scenario engine): no request admitted before
+  /// `until` starts service until the outage lifts — arrivals keep
+  /// queueing and drain FIFO afterwards, so the backlog shows up as
+  /// controller queueing delay. Extending an ongoing outage is allowed;
+  /// shortening one is not (the later end wins).
+  void begin_outage(SimTime until) noexcept {
+    outage_until_ = std::max(outage_until_, until);
+  }
+  [[nodiscard]] SimTime outage_until() const noexcept {
+    return outage_until_;
+  }
+
   [[nodiscard]] std::uint64_t total_requests() const noexcept {
     return total_requests_;
   }
@@ -84,6 +96,7 @@ class CentralController {
   // Queueing (FIFO over the cluster's servers; index = server).
   std::vector<SimTime> servers_free_at_;
   std::uint64_t total_requests_ = 0;
+  SimTime outage_until_ = 0;  ///< no service starts before this time
 
   // Stats windows.
   std::uint64_t window_requests_ = 0;

@@ -143,6 +143,14 @@ bool FailureWheel::is_switch_up(SwitchId sw) const {
   return state_[index_of(sw)].up;
 }
 
+bool FailureWheel::is_control_link_up(SwitchId sw) const {
+  return state_[index_of(sw)].control_link_up;
+}
+
+bool FailureWheel::is_down_link_up(SwitchId sw) const {
+  return state_[index_of(sw)].down_link_up;
+}
+
 void FailureWheel::reelect_designated(SimTime now) {
   // Prefer backups that are alive; then any live member.
   for (SwitchId b : backups_) {

@@ -81,6 +81,11 @@ class FailureWheel {
   /// ring neighbour.
   [[nodiscard]] bool control_relayed(SwitchId sw) const;
   [[nodiscard]] bool is_switch_up(SwitchId sw) const;
+  /// True while `sw`'s controller spoke is intact.
+  [[nodiscard]] bool is_control_link_up(SwitchId sw) const;
+  /// True while the ring link from `sw` toward its downstream neighbour
+  /// is intact.
+  [[nodiscard]] bool is_down_link_up(SwitchId sw) const;
   [[nodiscard]] const std::vector<WheelEvent>& events() const noexcept {
     return events_;
   }

@@ -51,6 +51,9 @@ void Network::bootstrap(const graph::WeightedGraph& history_intensity) {
   // its attached hosts; the controller builds the C-LIB.
   compute_excluded_hosts();
   for (const topo::HostInfo& h : topology_.hosts()) {
+    // Dormant tenants' hosts (scenario tenant-arrival events) are not
+    // announced yet; activate_tenant() runs this dissemination later.
+    if (dormant_hosts_.contains(h.id.value())) continue;
     switches_[h.attached_switch.value()]->lfib().learn(h.mac, h.id, h.tenant);
     controller_.clib_learn(h.mac, h.id, h.tenant, h.attached_switch);
   }
@@ -117,7 +120,7 @@ void Network::rebuild_group_fib(const std::vector<SwitchId>& members,
     if (!collected[i]) {
       collected[i] = true;
       for (HostId h : topology_.hosts_on_switch(members[i])) {
-        if (!excluded_hosts_.contains(h.value())) {
+        if (!host_hidden(h)) {
           macs[i].push_back(topology_.host_info(h).mac);
         }
       }
@@ -710,12 +713,16 @@ void Network::roll_stats_window() {
     return;
   }
   if (!controller_.should_regroup(now)) return;
+  run_legacy_incupdate();
+}
 
+bool Network::run_legacy_incupdate() {
+  const SimTime now = simulator_.now();
   Grouping grouping = controller_.grouping();  // copy for in-place update
   const Sgi::UpdateResult result = sgi_.incremental_update(
       grouping, traffic_monitor_->intensity_graph(), rng_);
   controller_.note_regrouped(now);
-  if (result.touched_groups.empty()) return;  // no profitable move
+  if (result.touched_groups.empty()) return false;  // no profitable move
 
   LOG_DEBUG("grouping update at t=" << to_seconds(now)
                                     << "s, Winter " << result.inter_group_before
@@ -724,6 +731,7 @@ void Network::roll_stats_window() {
                  result.touched_groups);
   ++metrics_->grouping_update_count;
   metrics_->grouping_updates.add_event(now);
+  return true;
 }
 
 void Network::commit_grouping(Grouping grouping,
@@ -793,6 +801,160 @@ void Network::perform_migration(HostId host, SwitchId to) {
       rebuild_group_fib(members[gt.value()], changed_to);
     }
   }
+}
+
+void Network::set_dormant_tenants(std::span<const TenantId> tenants) {
+  assert(!bootstrapped_ && "dormant tenants must be set before bootstrap()");
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    for (const TenantId t : tenants) {
+      if (h.tenant == t) {
+        dormant_hosts_.insert(h.id.value());
+        break;
+      }
+    }
+  }
+}
+
+void Network::resync_changed_members(const std::vector<SwitchId>& changed) {
+  if (config_.mode != ControlMode::kLazyCtrl ||
+      controller_.grouping().group_count == 0) {
+    return;
+  }
+  const auto members = controller_.grouping().members();
+  // Group the changed switches so each affected group resyncs once, with
+  // its own members marked dirty (their installed filters are
+  // present-but-stale, exactly the live host-migration situation).
+  std::map<std::uint32_t, std::vector<SwitchId>> by_group;
+  for (const SwitchId sw : changed) {
+    const GroupId g = controller_.grouping().group_of(sw);
+    if (g.valid()) by_group[g.value()].push_back(sw);
+  }
+  for (const auto& [g, dirty] : by_group) {
+    rebuild_group_fib(members[g], dirty);
+  }
+}
+
+bool Network::activate_tenant(TenantId tenant) {
+  std::vector<SwitchId> changed;
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    if (h.tenant != tenant || !dormant_hosts_.contains(h.id.value())) {
+      continue;
+    }
+    // §III-D3 live dissemination, host by host: edge switch learns, the
+    // C-LIB update rides the control link.
+    dormant_hosts_.erase(h.id.value());
+    switches_[h.attached_switch.value()]->lfib().learn(h.mac, h.id, h.tenant);
+    controller_.clib_learn(h.mac, h.id, h.tenant, h.attached_switch);
+    ++metrics_->control_link_messages;
+    if (std::find(changed.begin(), changed.end(), h.attached_switch) ==
+        changed.end()) {
+      changed.push_back(h.attached_switch);
+    }
+  }
+  if (changed.empty()) return false;
+  resync_changed_members(changed);
+  return true;
+}
+
+bool Network::deactivate_tenant(TenantId tenant) {
+  std::vector<SwitchId> changed;
+  std::vector<MacAddress> macs;
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    if (h.tenant != tenant || dormant_hosts_.contains(h.id.value())) {
+      continue;
+    }
+    dormant_hosts_.insert(h.id.value());
+    switches_[h.attached_switch.value()]->lfib().forget(h.mac);
+    controller_.clib_forget(h.mac);
+    macs.push_back(h.mac);
+    ++metrics_->control_link_messages;
+    if (std::find(changed.begin(), changed.end(), h.attached_switch) ==
+        changed.end()) {
+      changed.push_back(h.attached_switch);
+    }
+  }
+  if (changed.empty()) return false;
+  // Reactive rules pointing at the departed hosts are revoked everywhere,
+  // like after a live migration.
+  for (const auto& sw : switches_) {
+    for (const MacAddress mac : macs) {
+      sw->flow_table().remove_rules_for_destination(mac);
+    }
+  }
+  resync_changed_members(changed);
+  return true;
+}
+
+void Network::begin_controller_outage(SimDuration duration) {
+  if (duration <= 0) return;
+  controller_.begin_outage(simulator_.now() + duration);
+}
+
+bool Network::inject_switch_failure(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || !wheel->is_switch_up(sw)) return false;
+  wheel->fail_switch(sw);
+  return true;
+}
+
+bool Network::inject_switch_recovery(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || wheel->is_switch_up(sw)) return false;
+  wheel->recover_switch(sw);
+  return true;
+}
+
+bool Network::inject_peer_link_failure(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || wheel->ring().size() < 2 ||
+      !wheel->is_down_link_up(sw)) {
+    return false;
+  }
+  wheel->fail_peer_link(sw, wheel->downstream_of(sw));
+  return true;
+}
+
+bool Network::inject_peer_link_recovery(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || wheel->ring().size() < 2 ||
+      wheel->is_down_link_up(sw)) {
+    return false;
+  }
+  wheel->recover_peer_link(sw, wheel->downstream_of(sw));
+  return true;
+}
+
+bool Network::inject_control_link_failure(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || !wheel->is_control_link_up(sw)) return false;
+  wheel->fail_control_link(sw);
+  return true;
+}
+
+bool Network::inject_control_link_recovery(SwitchId sw) {
+  FailureWheel* wheel = wheel_of(sw);
+  if (wheel == nullptr || wheel->is_control_link_up(sw)) return false;
+  wheel->recover_control_link(sw);
+  return true;
+}
+
+std::size_t Network::failover_event_count() const {
+  std::size_t n = 0;
+  for (const auto& wheel : wheels_) n += wheel->events().size();
+  return n;
+}
+
+bool Network::force_regroup() {
+  if (config_.mode != ControlMode::kLazyCtrl || !bootstrapped_ ||
+      controller_.grouping().group_count == 0) {
+    return false;
+  }
+  if (dgm_) return run_dgm_maintenance();
+  if (traffic_monitor_->flow_mass() <
+      config_.grouping.min_update_flow_evidence) {
+    return false;
+  }
+  return run_legacy_incupdate();
 }
 
 Network::ReplayTimers Network::begin_replay(const workload::Trace& trace) {

@@ -125,6 +125,55 @@ class Network : private dgm::GroupingHost {
     return *traffic_monitor_;
   }
 
+  // --- scenario injection seams (driven by scenario::ScenarioRunner) ---
+  // Everything here commits coordinator-side state between replay spans
+  // (scenario events are ordinary simulator events, fenced exactly like
+  // stats windows and migrations), so scenarios stay bit-deterministic
+  // under the batched datapath and the sharded runtime alike.
+
+  /// Marks tenants whose hosts stay dormant through bootstrap: their
+  /// L-FIB/C-LIB records are not disseminated and their MACs are
+  /// invisible to every G-FIB until activate_tenant(). Must be called
+  /// before bootstrap().
+  void set_dormant_tenants(std::span<const TenantId> tenants);
+  /// Tenant arrival (§III-D3 live dissemination): announces a dormant
+  /// tenant's hosts — L-FIB/C-LIB learn plus a forced G-FIB resync of
+  /// the affected groups. Returns false when the tenant has no dormant
+  /// hosts.
+  bool activate_tenant(TenantId tenant);
+  /// Tenant departure: forgets the tenant's hosts (L-FIB/C-LIB), revokes
+  /// reactive rules toward them at every switch and resyncs the affected
+  /// G-FIBs. The hosts become dormant again (a later activate_tenant
+  /// re-announces them). Returns false when the tenant has no active
+  /// hosts.
+  bool deactivate_tenant(TenantId tenant);
+
+  /// Controller outage starting now: requests keep arriving and queueing
+  /// but none is serviced for `duration`; the backlog then drains FIFO.
+  void begin_controller_outage(SimDuration duration);
+
+  /// Failure injections, routed to the failure wheel of the group `sw`
+  /// belongs to. Return false (no-op) when failover is disabled, `sw` is
+  /// ungrouped, or — for the peer-link pair — the group has fewer than
+  /// two members. The peer-link variants act on the ring link between
+  /// `sw` and its downstream ring neighbour.
+  bool inject_switch_failure(SwitchId sw);
+  bool inject_switch_recovery(SwitchId sw);
+  bool inject_peer_link_failure(SwitchId sw);
+  bool inject_peer_link_recovery(SwitchId sw);
+  bool inject_control_link_failure(SwitchId sw);
+  bool inject_control_link_recovery(SwitchId sw);
+  /// Keep-alive detections recorded by the live failure wheels (wheel
+  /// state resets when a regrouping rebuilds the wheels).
+  [[nodiscard]] std::size_t failover_event_count() const;
+
+  /// Forces a regrouping attempt now, bypassing the periodic cadence: a
+  /// DGM maintenance round when DGM is on, otherwise a legacy IncUpdate
+  /// renegotiation on the current intensity estimate (ignoring the
+  /// workload-growth trigger but honouring the evidence floor). Returns
+  /// true when a plan was applied.
+  bool force_regroup();
+
   // --- failover (active when config.failover_enabled) ---
   /// The failure-detection wheel of the group `sw` belongs to, or nullptr
   /// when failover is disabled / the switch is ungrouped.
@@ -278,6 +327,19 @@ class Network : private dgm::GroupingHost {
   void select_designated(const std::vector<SwitchId>& members);
   void compute_excluded_hosts();
   void rebuild_failure_wheels();
+  /// Shared tail of the legacy IncUpdate path (roll_stats_window and
+  /// force_regroup): plans on the monitor's intensity estimate, applies
+  /// touched groups, accounts metrics. Caller gates evidence/cadence.
+  bool run_legacy_incupdate();
+  /// Resyncs the G-FIBs of every group containing a `changed` switch,
+  /// marking those switches dirty (their host sets just changed).
+  void resync_changed_members(const std::vector<SwitchId>& changed);
+  /// True when `h` must not appear in any G-FIB or bootstrap
+  /// dissemination (appendix-B exclusion or a dormant tenant's host).
+  [[nodiscard]] bool host_hidden(HostId h) const {
+    return excluded_hosts_.contains(h.value()) ||
+           dormant_hosts_.contains(h.value());
+  }
   void perform_migration(HostId host, SwitchId to);
   void roll_stats_window();
 
@@ -300,6 +362,9 @@ class Network : private dgm::GroupingHost {
   /// Host ids excluded from grouping (appendix B); flows touching them are
   /// controller-handled.
   std::unordered_set<std::uint32_t> excluded_hosts_;
+  /// Hosts of dormant (not-yet-arrived / departed) tenants: invisible to
+  /// L-FIB dissemination and G-FIBs until activate_tenant().
+  std::unordered_set<std::uint32_t> dormant_hosts_;
 
   /// Decayed switch-pair intensity estimate (drained from the per-switch
   /// state-advertisement counters each stats window). Feeds both the legacy

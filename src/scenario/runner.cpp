@@ -1,0 +1,350 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+#include "workload/intensity.h"
+
+namespace lazyctrl::scenario {
+
+namespace {
+
+// Decorrelated Rng stream ids derived from the scenario seed. Every
+// random choice the runner makes draws from its own stream so adding an
+// event never perturbs an unrelated one.
+constexpr std::uint64_t kTopologyStream = 0x5C01;
+constexpr std::uint64_t kWorkloadStream = 0x5C02;
+constexpr std::uint64_t kSurgeStreamBase = 0x5C10'0000;
+constexpr std::uint64_t kBurstStreamBase = 0x5C20'0000;
+
+bool is_wheel_event(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFailSwitch:
+    case EventKind::kRecoverSwitch:
+    case EventKind::kFailPeerLink:
+    case EventKind::kRecoverPeerLink:
+    case EventKind::kFailControlLink:
+    case EventKind::kRecoverControlLink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ScenarioRunner::validate(std::string* error) const {
+  const auto fail = [&](std::string message) {
+    if (error) *error = std::move(message);
+    return false;
+  };
+  const SimDuration horizon = spec_.workload.horizon;
+
+  std::unordered_map<std::uint32_t, SimTime> arrivals;
+  std::unordered_map<std::uint32_t, SimTime> departures;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const ScenarioEvent& ev = spec_.events[i];
+    const std::string where =
+        "event " + std::to_string(i + 1) + " (" + to_string(ev.kind) + ")";
+    if (ev.at > horizon) {
+      return fail(where + " fires at " + format_duration(ev.at) +
+                  ", beyond the workload horizon " +
+                  format_duration(horizon));
+    }
+    if (is_wheel_event(ev.kind)) {
+      if (ev.sw >= spec_.topology.switches) {
+        return fail(where + ": sw=" + std::to_string(ev.sw) +
+                    " out of range (topology has " +
+                    std::to_string(spec_.topology.switches) + " switches)");
+      }
+      if (!spec_.config.failover_enabled) {
+        return fail(where + " needs the failure wheel; set failover = true "
+                            "in [config]");
+      }
+      if (spec_.config.mode != core::ControlMode::kLazyCtrl) {
+        return fail(where + " needs grouped switches; failure wheels only "
+                            "exist under mode = lazyctrl");
+      }
+    }
+    if (ev.kind == EventKind::kTenantArrival ||
+        ev.kind == EventKind::kTenantDeparture) {
+      if (ev.tenant >= spec_.topology.tenants) {
+        return fail(where + ": tenant=" + std::to_string(ev.tenant) +
+                    " out of range (topology has " +
+                    std::to_string(spec_.topology.tenants) + " tenants)");
+      }
+      auto& seen = ev.kind == EventKind::kTenantArrival ? arrivals
+                                                        : departures;
+      if (!seen.emplace(ev.tenant, ev.at).second) {
+        return fail(where + ": tenant " + std::to_string(ev.tenant) +
+                    " already has a " + to_string(ev.kind) + " event");
+      }
+    }
+    if (ev.kind == EventKind::kMigrationBurst &&
+        ev.hosts > topology_.host_count()) {
+      return fail(where + ": hosts=" + std::to_string(ev.hosts) +
+                  " exceeds the topology's " +
+                  std::to_string(topology_.host_count()) + " hosts");
+    }
+  }
+  for (const auto& [tenant, at] : departures) {
+    const auto it = arrivals.find(tenant);
+    if (it != arrivals.end() && it->second >= at) {
+      return fail("tenant " + std::to_string(tenant) +
+                  " departs at " + format_duration(at) +
+                  ", not after its arrival at " + format_duration(it->second));
+    }
+  }
+  return true;
+}
+
+void ScenarioRunner::build_trace() {
+  Rng rng = Rng::stream(spec_.seed, kWorkloadStream);
+  const WorkloadSpec& w = spec_.workload;
+  workload::Trace trace;
+  switch (w.kind) {
+    case WorkloadKind::kRealLike: {
+      workload::RealLikeOptions opt;
+      opt.total_flows = w.flows;
+      opt.horizon = w.horizon;
+      opt.profile = w.flat_profile ? workload::DiurnalProfile::flat()
+                                   : workload::DiurnalProfile::business_day();
+      trace = workload::generate_real_like(topology_, opt, rng);
+      break;
+    }
+    case WorkloadKind::kSynthetic: {
+      workload::SyntheticOptions opt;
+      opt.p = w.p;
+      opt.q = w.q;
+      opt.total_flows = w.flows;
+      opt.horizon = w.horizon;
+      opt.profile = w.flat_profile ? workload::DiurnalProfile::flat()
+                                   : workload::DiurnalProfile::business_day();
+      trace = workload::generate_synthetic(topology_, opt, rng);
+      break;
+    }
+    case WorkloadKind::kDriftingLocality: {
+      workload::DriftingLocalityOptions opt;
+      opt.total_flows = w.flows;
+      opt.community_count = w.communities;
+      opt.intra_community_share = w.intra_share;
+      opt.phases = w.phases;
+      opt.drift_fraction = w.drift_fraction;
+      opt.horizon = w.horizon;
+      trace = workload::generate_drifting_locality(topology_, opt, rng);
+      break;
+    }
+  }
+
+  // Workload-shaping events, applied to the trace before replay. Surges
+  // first (clones draw their arrival inside the surge window), tenant
+  // activity windows last so the "no flows while dormant" invariant holds
+  // even when a surge window straddles an arrival or departure.
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const ScenarioEvent& ev = spec_.events[i];
+    if (ev.kind != EventKind::kTrafficSurge) continue;
+    const SimTime to = std::min<SimTime>(ev.at + ev.duration, w.horizon);
+    if (to <= ev.at) {
+      ++counts_.skipped;  // window clamped away: nothing to amplify
+      continue;
+    }
+    Rng surge_rng = Rng::stream(spec_.seed, kSurgeStreamBase + i);
+    trace = workload::surge_trace(trace, ev.at, to, ev.factor, surge_rng);
+    ++counts_.applied;
+  }
+  const auto windows = tenant_activity_windows();
+  if (!windows.empty()) {
+    trace = workload::restrict_tenant_windows(trace, topology_, windows);
+  }
+  trace.horizon = w.horizon;
+  trace_ = std::move(trace);
+}
+
+std::vector<workload::TenantActivityWindow>
+ScenarioRunner::tenant_activity_windows() const {
+  // One entry per lifecycle event; restrict_tenant_windows intersects
+  // entries of the same tenant, so arrival + departure compose to
+  // [arrival, departure).
+  std::vector<workload::TenantActivityWindow> windows;
+  for (const ScenarioEvent& ev : spec_.events) {
+    if (ev.kind == EventKind::kTenantArrival) {
+      windows.push_back(
+          {TenantId{ev.tenant}, ev.at, spec_.workload.horizon + 1});
+    } else if (ev.kind == EventKind::kTenantDeparture) {
+      windows.push_back({TenantId{ev.tenant}, 0, ev.at});
+    }
+  }
+  return windows;
+}
+
+void ScenarioRunner::schedule_migration_burst(const ScenarioEvent& ev,
+                                              std::uint64_t stream_id) {
+  Rng rng = Rng::stream(spec_.seed, stream_id);
+  // Only hosts whose tenant is active for the WHOLE burst window are
+  // migratable: moving a dormant (not-yet-arrived / departed) tenant's
+  // VM would re-announce a host the dormancy seams explicitly withheld.
+  // Same window composition as the trace filter, by construction.
+  const auto active =
+      workload::intersect_tenant_windows(tenant_activity_windows());
+  std::vector<HostId> eligible;
+  eligible.reserve(topology_.host_count());
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    const auto it = active.find(h.tenant.value());
+    if (it != active.end() && (ev.at < it->second.first ||
+                               ev.at + ev.spread >= it->second.second)) {
+      continue;
+    }
+    eligible.push_back(h.id);
+  }
+  const std::size_t want =
+      std::min<std::size_t>(ev.hosts, eligible.size());
+  if (want == 0) {
+    ++counts_.skipped;
+    return;
+  }
+  const std::size_t switch_count = topology_.switch_count();
+  std::unordered_set<std::uint32_t> picked;
+  picked.reserve(want);
+  while (picked.size() < want) {
+    const HostId host = eligible[rng.next_below(eligible.size())];
+    if (!picked.insert(host.value()).second) continue;
+    // A destination different from the current attachment; the burst is
+    // scheduled pre-replay so "current" is the bootstrap placement (an
+    // earlier burst moving the same host simply changes it again).
+    const SwitchId from = topology_.host_info(host).attached_switch;
+    auto to = static_cast<std::uint32_t>(rng.next_below(switch_count));
+    if (switch_count > 1 && SwitchId{to} == from) {
+      to = (to + 1) % static_cast<std::uint32_t>(switch_count);
+    }
+    const SimTime when =
+        ev.at + (ev.spread > 0
+                     ? static_cast<SimTime>(rng.next_below(
+                           static_cast<std::uint64_t>(ev.spread) + 1))
+                     : 0);
+    net_->schedule_migration(host, SwitchId{to}, when);
+  }
+  ++counts_.applied;
+}
+
+void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
+  bool applied = false;
+  switch (ev.kind) {
+    case EventKind::kFailSwitch:
+      applied = net_->inject_switch_failure(SwitchId{ev.sw});
+      break;
+    case EventKind::kRecoverSwitch:
+      applied = net_->inject_switch_recovery(SwitchId{ev.sw});
+      break;
+    case EventKind::kFailPeerLink:
+      applied = net_->inject_peer_link_failure(SwitchId{ev.sw});
+      break;
+    case EventKind::kRecoverPeerLink:
+      applied = net_->inject_peer_link_recovery(SwitchId{ev.sw});
+      break;
+    case EventKind::kFailControlLink:
+      applied = net_->inject_control_link_failure(SwitchId{ev.sw});
+      break;
+    case EventKind::kRecoverControlLink:
+      applied = net_->inject_control_link_recovery(SwitchId{ev.sw});
+      break;
+    case EventKind::kControllerOutage:
+      net_->begin_controller_outage(ev.duration);
+      applied = true;
+      break;
+    case EventKind::kTenantArrival:
+      applied = net_->activate_tenant(TenantId{ev.tenant});
+      break;
+    case EventKind::kTenantDeparture:
+      applied = net_->deactivate_tenant(TenantId{ev.tenant});
+      break;
+    case EventKind::kForceRegroup:
+      applied = net_->force_regroup();
+      break;
+    case EventKind::kMigrationBurst:
+    case EventKind::kTrafficSurge:
+      assert(false && "handled at build time, never scheduled");
+      break;
+  }
+  ++(applied ? counts_.applied : counts_.skipped);
+}
+
+bool ScenarioRunner::run(std::string* error) {
+  assert(!ran_ && "a ScenarioRunner runs exactly once");
+  ran_ = true;
+
+  // Re-checked here because apply_override() can break it after a clean
+  // parse, and it must hold BEFORE build_multi_tenant: an inverted range
+  // would send the builder's uniform VM-count draw into a 2^64-sized
+  // span.
+  if (spec_.topology.min_vms_per_tenant > spec_.topology.max_vms_per_tenant) {
+    if (error) {
+      *error = "[topology] min_vms_per_tenant exceeds max_vms_per_tenant";
+    }
+    return false;
+  }
+
+  // Topology.
+  {
+    Rng rng = Rng::stream(spec_.seed, kTopologyStream);
+    topo::MultiTenantOptions opt;
+    opt.switch_count = spec_.topology.switches;
+    opt.tenant_count = spec_.topology.tenants;
+    opt.min_vms_per_tenant = spec_.topology.min_vms_per_tenant;
+    opt.max_vms_per_tenant = spec_.topology.max_vms_per_tenant;
+    opt.vms_per_switch = spec_.topology.vms_per_switch;
+    topology_ = topo::build_multi_tenant(opt, rng);
+  }
+
+  if (!validate(error)) return false;
+  build_trace();
+
+  core::Config config = spec_.config;
+  config.seed = spec_.seed;
+  net_ = std::make_unique<core::Network>(topology_, config);
+
+  // Tenants with an arrival event stay dormant through bootstrap.
+  std::vector<TenantId> dormant;
+  for (const ScenarioEvent& ev : spec_.events) {
+    if (ev.kind == EventKind::kTenantArrival) {
+      dormant.push_back(TenantId{ev.tenant});
+    }
+  }
+  if (!dormant.empty()) net_->set_dormant_tenants(dormant);
+
+  if (spec_.bootstrap_history && spec_.config.mode ==
+                                     core::ControlMode::kLazyCtrl) {
+    const graph::WeightedGraph history = workload::build_intensity_graph(
+        *trace_, topology_, 0, std::min<SimDuration>(kHour,
+                                                     trace_->horizon));
+    net_->bootstrap(history);
+  } else {
+    net_->bootstrap();
+  }
+
+  // Schedule the event script. Build-time events (surges) were already
+  // consumed; migration bursts expand into scheduled migrations here;
+  // the rest become simulator events fired through the Network's
+  // scenario seams, fenced between replay spans like any control event.
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const ScenarioEvent& ev = spec_.events[i];
+    if (ev.kind == EventKind::kTrafficSurge) continue;
+    if (ev.kind == EventKind::kMigrationBurst) {
+      schedule_migration_burst(ev, kBurstStreamBase + i);
+      continue;
+    }
+    ++counts_.scheduled;
+    net_->simulator().schedule_at(
+        ev.at, [this, i] { apply_event(spec_.events[i]); });
+  }
+
+  net_->replay(*trace_);
+  return true;
+}
+
+}  // namespace lazyctrl::scenario

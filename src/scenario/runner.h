@@ -1,0 +1,82 @@
+// ScenarioRunner — executes a parsed ScenarioSpec end to end.
+//
+// The runner is the bridge between the declarative spec and the live
+// subsystems: it builds the multi-tenant topology, generates and shapes
+// the workload (traffic surges and tenant activity windows are applied
+// to the trace BEFORE replay so the flow schedule itself is part of the
+// deterministic input), constructs a core::Network, schedules the event
+// script into the discrete-event simulator through the Network's
+// scenario seams, and replays — single-threaded, batched or sharded,
+// whatever the spec's `runtime.*` knobs select.
+//
+// Determinism contract: every scenario event commits coordinator-side
+// state and is fenced by Simulator::next_event_time() exactly like the
+// existing periodic machinery, so the same spec produces bit-identical
+// RunMetrics on every run and across `runtime.num_shards` settings in
+// deterministic mode (regression-tested in tests/scenario_test.cpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/network.h"
+#include "scenario/spec.h"
+#include "topo/topology.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace lazyctrl::scenario {
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  /// Builds topology + trace + network, validates the event script
+  /// against them (switch/tenant/host indices in range, events within
+  /// the horizon, failover events only with failover enabled), schedules
+  /// the script and replays. Returns false and sets `*error` on semantic
+  /// problems. One call per runner.
+  bool run(std::string* error);
+
+  /// How the event script fared at sim time.
+  struct EventCounts {
+    std::size_t scheduled = 0;  ///< events scheduled into the simulator
+    std::size_t applied = 0;    ///< found their target live and took effect
+    std::size_t skipped = 0;    ///< fired but were no-ops (e.g. regroup
+                                ///< found nothing to do, switch already up)
+  };
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+  // The accessors below require a successful run().
+  [[nodiscard]] const core::RunMetrics& metrics() const {
+    return net_->metrics();
+  }
+  [[nodiscard]] const core::Network& network() const { return *net_; }
+  [[nodiscard]] const workload::Trace& trace() const { return *trace_; }
+  [[nodiscard]] const EventCounts& event_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  bool validate(std::string* error) const;
+  void build_trace();
+  void apply_event(const ScenarioEvent& ev);
+  void schedule_migration_burst(const ScenarioEvent& ev,
+                                std::uint64_t stream_id);
+  /// Per-tenant activity windows [from, to) implied by the event script
+  /// (arrival opens, departure closes; both default to the full run).
+  [[nodiscard]] std::vector<workload::TenantActivityWindow>
+  tenant_activity_windows() const;
+
+  ScenarioSpec spec_;
+  topo::Topology topology_;
+  std::optional<workload::Trace> trace_;
+  std::unique_ptr<core::Network> net_;
+  EventCounts counts_;
+  bool ran_ = false;
+};
+
+}  // namespace lazyctrl::scenario

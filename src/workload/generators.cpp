@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -397,6 +398,69 @@ Trace expand_trace(const Trace& base, const Topology& topology,
     f.start = from + static_cast<SimTime>(
                          rng.next_below(static_cast<std::uint64_t>(to - from)));
     sample_shape(shape, rng, f);
+    out.flows.push_back(f);
+  }
+  finalize_trace(out);
+  return out;
+}
+
+Trace surge_trace(const Trace& base, SimTime from, SimTime to, double factor,
+                  Rng& rng) {
+  Trace out = base;
+  if (factor <= 1.0 || to <= from) {
+    finalize_trace(out);
+    return out;
+  }
+  const double extra = factor - 1.0;
+  const auto whole = static_cast<std::size_t>(extra);
+  const double frac = extra - static_cast<double>(whole);
+  const auto window = static_cast<std::uint64_t>(to - from);
+  for (const Flow& f : base.flows) {
+    if (f.start < from || f.start >= to) continue;
+    std::size_t copies = whole;
+    if (rng.next_bool(frac)) ++copies;
+    for (std::size_t c = 0; c < copies; ++c) {
+      Flow dup = f;
+      dup.start = from + static_cast<SimTime>(rng.next_below(window));
+      out.flows.push_back(dup);
+    }
+  }
+  finalize_trace(out);
+  return out;
+}
+
+std::unordered_map<std::uint32_t, std::pair<SimTime, SimTime>>
+intersect_tenant_windows(std::span<const TenantActivityWindow> windows) {
+  std::unordered_map<std::uint32_t, std::pair<SimTime, SimTime>> out;
+  for (const TenantActivityWindow& w : windows) {
+    auto [it, fresh] = out.try_emplace(
+        w.tenant.value(), std::make_pair(w.active_from, w.active_to));
+    if (!fresh) {
+      it->second.first = std::max(it->second.first, w.active_from);
+      it->second.second = std::min(it->second.second, w.active_to);
+    }
+  }
+  return out;
+}
+
+Trace restrict_tenant_windows(const Trace& base, const Topology& topology,
+                              std::span<const TenantActivityWindow> windows) {
+  Trace out;
+  out.horizon = base.horizon;
+  if (windows.empty()) {
+    out.flows = base.flows;
+    finalize_trace(out);
+    return out;
+  }
+  const auto window = intersect_tenant_windows(windows);
+  const auto outside = [&](HostId h, SimTime start) {
+    const auto it = window.find(topology.host_info(h).tenant.value());
+    return it != window.end() &&
+           (start < it->second.first || start >= it->second.second);
+  };
+  out.flows.reserve(base.flows.size());
+  for (const Flow& f : base.flows) {
+    if (outside(f.src, f.start) || outside(f.dst, f.start)) continue;
     out.flows.push_back(f);
   }
   finalize_trace(out);

@@ -19,6 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
 
 #include "common/rng.h"
 #include "topo/topology.h"
@@ -134,5 +138,41 @@ Trace generate_drifting_locality(const topo::Topology& topology,
 Trace expand_trace(const Trace& base, const topo::Topology& topology,
                    double extra_fraction, SimTime from, SimTime to, Rng& rng,
                    double flows_per_new_pair = 30.0);
+
+// --- scenario-engine trace shaping (src/scenario) ---
+
+/// Traffic surge: returns `base` with every flow starting in [from, to)
+/// cloned ~(factor - 1) extra times — the fractional part is a Bernoulli
+/// draw per flow — with each clone's arrival re-drawn uniformly within
+/// the window. More arrivals among the pairs already active there, i.e.
+/// a load spike without a locality change. `factor` <= 1 (or an empty
+/// window) returns `base` unchanged. Deterministic for a given rng state.
+Trace surge_trace(const Trace& base, SimTime from, SimTime to, double factor,
+                  Rng& rng);
+
+/// Tenant activity windows: drops every flow touching a host of a listed
+/// tenant that starts outside that tenant's [active_from, active_to).
+/// One pass over the trace regardless of how many tenants are listed
+/// (a tenant listed twice keeps only flows inside BOTH windows). This is
+/// the workload half of a scenario tenant arrival/departure; the
+/// control-plane half (dormant bootstrap, live dissemination, rule
+/// revocation) is core::Network::set_dormant_tenants / activate_tenant /
+/// deactivate_tenant.
+struct TenantActivityWindow {
+  TenantId tenant;
+  SimTime active_from = 0;
+  SimTime active_to = 0;
+};
+Trace restrict_tenant_windows(const Trace& base,
+                              const topo::Topology& topology,
+                              std::span<const TenantActivityWindow> windows);
+
+/// Intersected [from, to) window per tenant id (a tenant listed twice
+/// keeps the intersection of its entries). The ONE definition of how
+/// lifecycle windows compose: restrict_tenant_windows filters flows
+/// through it and the scenario runner's migration-burst eligibility
+/// checks against it, so the two can never disagree.
+std::unordered_map<std::uint32_t, std::pair<SimTime, SimTime>>
+intersect_tenant_windows(std::span<const TenantActivityWindow> windows);
 
 }  // namespace lazyctrl::workload

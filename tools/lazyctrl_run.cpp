@@ -1,0 +1,249 @@
+// lazyctrl_run — execute a declarative scenario (.scn) end to end and
+// emit BENCH_scenario_<name>.json through the shared bench harness.
+//
+//   lazyctrl_run <scenario.scn> [options]
+//
+//   --set SECTION.KEY=VALUE  override any spec value through the same key
+//                            grammar as the file (repeatable), e.g.
+//                            --set config.runtime.num_shards=2
+//                            --set workload.flows=500
+//   --scale F                multiply workload.flows by F (smoke runs)
+//   --reps N                 harness repetitions (default 2); with N >= 2
+//                            every repetition's RunMetrics must be
+//                            bit-identical to the first, so the default
+//                            run doubles as a determinism check
+//   --json-dir DIR           where BENCH_*.json lands (overrides env
+//                            LAZYCTRL_BENCH_JSON_DIR)
+//   --print-spec             print the canonical serialized spec and exit
+//
+// Exit codes: 0 ok; 1 scenario ran but a repetition's metrics diverged
+// (non-determinism — a bug); 2 parse/semantic/usage failure.
+//
+// The spec grammar and every event primitive are documented in
+// docs/SCENARIOS.md.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "harness.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+using namespace lazyctrl;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario.scn> [--set section.key=value]... "
+               "[--scale F] [--reps N] [--json-dir DIR] [--print-spec]\n",
+               argv0);
+  return 2;
+}
+
+void report_run(const scenario::ScenarioRunner& runner,
+                benchx::BenchReport& report) {
+  const core::RunMetrics& m = runner.metrics();
+  const auto& counts = runner.event_counts();
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  report.metric("flows_total", d(m.flows_seen), "flows");
+  report.metric("flows_local_delivery", d(m.flows_local_delivery), "flows");
+  report.metric("flows_intra_group", d(m.flows_intra_group), "flows");
+  report.metric("flows_inter_group", d(m.flows_inter_group), "flows");
+  report.metric("flow_table_hits", d(m.flows_flow_table_hit), "flows");
+  report.controller_load("controller_packet_ins", d(m.controller_packet_ins));
+  report.metric("inter_group_fraction",
+                m.flows_seen ? d(m.flows_inter_group) / d(m.flows_seen) : 0.0,
+                "fraction");
+  report.latency_ms("first_packet_latency_ms_mean",
+                    m.first_packet_latency_ms.mean());
+  report.latency_ms("controller_queue_delay_ms_mean",
+                    m.controller_queue_delay_ms.mean());
+  report.latency_ms("controller_queue_delay_ms_max",
+                    m.controller_queue_delay_ms.max());
+  report.metric("grouping_updates", d(m.grouping_update_count), "updates");
+  report.metric("dgm_plans_applied", d(m.dgm_plans_applied), "plans");
+  report.metric("preload_rules_installed", d(m.preload_rules_installed),
+                "rules");
+  report.metric("bf_false_positive_copies", d(m.bf_false_positive_copies),
+                "packets");
+  report.metric("failover_detections",
+                d(runner.network().failover_event_count()), "events");
+  report.metric("events_scheduled", d(counts.scheduled), "events");
+  report.metric("events_applied", d(counts.applied), "events");
+  report.metric("events_skipped", d(counts.skipped), "events");
+
+  std::printf(
+      "  flows %llu | local %llu | intra-group %llu | inter-group %llu | "
+      "table hits %llu\n",
+      static_cast<unsigned long long>(m.flows_seen),
+      static_cast<unsigned long long>(m.flows_local_delivery),
+      static_cast<unsigned long long>(m.flows_intra_group),
+      static_cast<unsigned long long>(m.flows_inter_group),
+      static_cast<unsigned long long>(m.flows_flow_table_hit));
+  std::printf(
+      "  controller PacketIns %llu | mean setup %.3f ms | max ctrl queue "
+      "%.3f ms\n",
+      static_cast<unsigned long long>(m.controller_packet_ins),
+      m.first_packet_latency_ms.mean(), m.controller_queue_delay_ms.max());
+  std::printf(
+      "  events: %zu scheduled, %zu applied, %zu skipped | grouping "
+      "updates %llu | failover detections %zu\n",
+      counts.scheduled, counts.applied, counts.skipped,
+      static_cast<unsigned long long>(m.grouping_update_count),
+      runner.network().failover_event_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  std::string path;
+  std::vector<std::string> overrides;
+  double scale = 1.0;
+  int reps = 2;
+  bool print_spec = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--set") {
+      const char* v = next("--set");
+      if (v == nullptr) return 2;
+      overrides.emplace_back(v);
+    } else if (arg == "--scale") {
+      const char* v = next("--scale");
+      if (v == nullptr) return 2;
+      scale = std::atof(v);
+      if (scale <= 0) {
+        std::fprintf(stderr, "--scale expects a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--reps") {
+      const char* v = next("--reps");
+      if (v == nullptr) return 2;
+      reps = std::atoi(v);
+      if (reps < 1) {
+        std::fprintf(stderr, "--reps expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--json-dir") {
+      const char* v = next("--json-dir");
+      if (v == nullptr) return 2;
+      setenv("LAZYCTRL_BENCH_JSON_DIR", v, 1);
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "only one scenario file may be given\n");
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  scenario::ParseResult parsed = scenario::parse_scenario_file(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: invalid scenario\n%s", path.c_str(),
+                 parsed.error_text().c_str());
+    return 2;
+  }
+  scenario::ScenarioSpec spec = std::move(parsed.spec);
+  for (const std::string& o : overrides) {
+    std::string err;
+    if (!scenario::apply_override(spec, o, &err)) {
+      std::fprintf(stderr, "--set %s: %s\n", o.c_str(), err.c_str());
+      return 2;
+    }
+  }
+  if (scale != 1.0) {
+    spec.workload.flows = static_cast<std::size_t>(
+        static_cast<double>(spec.workload.flows) * scale);
+  }
+
+  if (print_spec) {
+    std::fputs(scenario::serialize_scenario(spec).c_str(), stdout);
+    return 0;
+  }
+
+  // Mirror the harness's repetition AND warmup overrides so the
+  // determinism verdict below can be recorded exactly once, on the very
+  // last body invocation — a per-rep 0/1 sample would be
+  // median-aggregated and could mask a minority diverging rep at
+  // --reps >= 3, and warmup invocations advance the same counter.
+  const auto env_count = [](const char* name, int fallback) {
+    if (const char* s = std::getenv(name)) {
+      const int v = std::atoi(s);
+      if (v >= 0) return v;
+    }
+    return fallback;
+  };
+  const int total_reps = std::max(1, env_count("LAZYCTRL_BENCH_REPS", reps));
+  const int total_invocations =
+      total_reps + env_count("LAZYCTRL_BENCH_WARMUP", 0);
+
+  // Only the first run's RunMetrics survive as the determinism
+  // reference — keeping the whole runner (network, topology, trace)
+  // alive would double peak memory during every later repetition.
+  std::optional<core::RunMetrics> reference;
+  int rep_index = 0;
+  bool all_identical = true;
+  const int status = benchx::run_benchmark(
+      "scenario_" + benchx::slugify(spec.name),
+      "Scenario — " + spec.name,
+      spec.description.empty() ? path : spec.description,
+      {.repetitions = reps, .warmup = 0},
+      [&](benchx::BenchReport& report) {
+        ++rep_index;
+        auto runner = std::make_unique<scenario::ScenarioRunner>(spec);
+        std::string error;
+        if (!runner->run(&error)) {
+          std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
+          return 2;
+        }
+        report_run(*runner, report);
+        bool identical = true;
+        if (!reference.has_value()) {
+          reference = runner->metrics();
+        } else {
+          identical = runner->metrics().identical_to(*reference);
+          if (!identical) {
+            all_identical = false;
+            std::fprintf(stderr,
+                         "NON-DETERMINISTIC: this repetition's RunMetrics "
+                         "differ from the first run's\n");
+          }
+        }
+        if (rep_index >= total_invocations) {
+          if (rep_index >= 2) {
+            report.metric("deterministic_rerun_identical",
+                          all_identical ? 1.0 : 0.0, "bool");
+          } else {
+            // A single invocation never compared anything; omitting the
+            // metric (rather than claiming 1) makes check_bench_json's
+            // required-metric gate flag the unchecked run.
+            std::fprintf(stderr,
+                         "note: 1 repetition — rerun determinism was NOT "
+                         "checked (deterministic_rerun_identical omitted)\n");
+          }
+        }
+        return identical ? 0 : 1;
+      });
+  return status;
+}
