@@ -34,6 +34,10 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
       {"micro_datapath",
        {"throughput_batched_flows_per_sec", "batched_speedup",
         "gfib_scan_ns", "gfib_scan_sliced_ns", "gfib_scan_speedup"}},
+      {"obs_overhead",
+       {"replay_flows_per_sec_tracing_off", "replay_flows_per_sec_tracing_on",
+        "tracing_on_overhead_pct", "tracing_off_overhead_pct",
+        "rss_delta_bytes", "trace_events_recorded"}},
   };
   return kRequired;
 }
@@ -151,7 +155,20 @@ int main(int argc, char** argv) {
                       file.c_str(), speedup);
         }
       }
-      std::printf("ok      %s\n", file.c_str());
+      // Surface the optional stats section (obs::Registry snapshot) so a
+      // silently dropped --stats-dump shows up as "0 stats" in the CI log.
+      std::size_t stat_count = 0;
+      lazyctrl::benchx::JsonValue doc;
+      if (lazyctrl::benchx::parse_json(buf.str(), &doc, nullptr)) {
+        if (const auto* stats = doc.find("stats")) {
+          stat_count = stats->object.size();
+        }
+      }
+      if (stat_count > 0) {
+        std::printf("ok      %s (%zu stats)\n", file.c_str(), stat_count);
+      } else {
+        std::printf("ok      %s\n", file.c_str());
+      }
       found.insert(name);
     }
   }

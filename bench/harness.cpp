@@ -67,28 +67,11 @@ void append_number(std::string& out, double x) {
   out += buf;
 }
 
-// ---- minimal JSON reader used by validate_bench_json ----
+// ---- minimal JSON reader behind benchx::parse_json ----
 //
 // A deliberately small recursive-descent parser: enough to check structural
-// validity and to extract the typed values the schema requires. No external
-// dependency, no DOM beyond what validation needs.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  double number = 0.0;
-  bool boolean = false;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
+// validity and to extract the typed values the schema validators require
+// (validate_bench_json here, check_bench_json / check_trace_json in CI).
 
 class JsonParser {
  public:
@@ -292,6 +275,11 @@ bool require(bool cond, const std::string& why, std::string* error) {
 
 }  // namespace
 
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  JsonParser parser(text);
+  return parser.parse(out, error);
+}
+
 std::string slugify(const std::string& text) {
   std::string out;
   bool pending_sep = false;
@@ -312,6 +300,10 @@ void BenchReport::metric(const std::string& key, double value,
   Metric& m = metrics_[key];
   if (m.unit.empty()) m.unit = unit;
   m.samples.push_back(finite_or_zero(value));
+}
+
+void BenchReport::stat(const std::string& key, double value) {
+  stats_[key] = finite_or_zero(value);
 }
 
 std::string render_bench_json(const std::string& name,
@@ -360,8 +352,22 @@ std::string render_bench_json(const std::string& name,
     }
     out += "]}";
   }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
+  out += first ? "}" : "\n  }";
+  if (!report.stats().empty()) {
+    // Flat stats section (obs::Registry snapshot): key -> number.
+    out += ",\n  \"stats\": {";
+    bool first_stat = true;
+    for (const auto& [key, value] : report.stats()) {
+      if (!first_stat) out += ",";
+      first_stat = false;
+      out += "\n    ";
+      append_escaped(out, key);
+      out += ": ";
+      append_number(out, value);
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -418,8 +424,7 @@ int run_benchmark(const std::string& name, const std::string& title,
 
 bool validate_bench_json(const std::string& json_text, std::string* error) {
   JsonValue root;
-  JsonParser parser(json_text);
-  if (!parser.parse(&root, error)) return false;
+  if (!parse_json(json_text, &root, error)) return false;
   if (!require(root.kind == JsonValue::Kind::kObject, "root is not an object",
                error)) {
     return false;
@@ -492,6 +497,20 @@ bool validate_bench_json(const std::string& json_text, std::string* error) {
     for (const JsonValue& s : samples->array) {
       if (!require(s.kind == JsonValue::Kind::kNumber,
                    "metric " + key + " has a non-numeric sample", error)) {
+        return false;
+      }
+    }
+  }
+
+  // Optional flat stats section (obs::Registry snapshots).
+  if (const JsonValue* stats = root.find("stats")) {
+    if (!require(stats->kind == JsonValue::Kind::kObject,
+                 "stats is not an object", error)) {
+      return false;
+    }
+    for (const auto& [key, v] : stats->object) {
+      if (!require(v.kind == JsonValue::Kind::kNumber,
+                   "stat " + key + " is not a number", error)) {
         return false;
       }
     }

@@ -57,8 +57,18 @@ class BenchReport {
     return metrics_;
   }
 
+  /// Records a flat point-in-time stat (an obs::Registry sample, typically
+  /// recorded once on the final repetition). Unlike metric(), re-recording
+  /// a key overwrites: stats are state snapshots, not per-rep samples to
+  /// aggregate. Rendered as the flat "stats" JSON section.
+  void stat(const std::string& key, double value);
+  [[nodiscard]] const std::map<std::string, double>& stats() const {
+    return stats_;
+  }
+
  private:
   std::map<std::string, Metric> metrics_;
+  std::map<std::string, double> stats_;
 };
 
 struct HarnessOptions {
@@ -87,6 +97,32 @@ std::string slugify(const std::string& text);
 /// well-formed JSON plus the required keys and types. On failure returns
 /// false and, when `error` is non-null, stores a human-readable reason.
 bool validate_bench_json(const std::string& json_text, std::string* error);
+
+/// Minimal JSON DOM + parser shared by the schema validators
+/// (validate_bench_json here, check_bench_json and check_trace_json in
+/// CI). Deliberately small: structural validity plus typed value access,
+/// no external dependency. \\uXXXX escapes are checked for shape but
+/// decoded as '?'.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` into `*out`. On failure returns false and, when `error`
+/// is non-null, stores a reason with the byte offset.
+bool parse_json(const std::string& text, JsonValue* out, std::string* error);
 
 /// Serialises one report the way run_benchmark() writes it (exposed for
 /// tests, which validate the round trip against validate_bench_json).

@@ -1,12 +1,18 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace lazyctrl {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+constexpr int kLevelUninitialized = -1;
+std::atomic<int> g_level{kLevelUninitialized};
+std::atomic<SimTime> g_sim_time{kLogSimTimeUnknown};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,19 +27,76 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic milliseconds since the first log emission.
+double wall_ms() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
 }  // namespace
+
+bool parse_log_level(std::string_view text, LogLevel* out) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() noexcept {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v == kLevelUninitialized) {
+    // First use: seed from LAZYCTRL_LOG. A racing second thread computes
+    // the same value, so the blind store is idempotent.
+    LogLevel parsed = LogLevel::kWarn;
+    if (const char* env = std::getenv("LAZYCTRL_LOG")) {
+      if (!parse_log_level(env, &parsed)) {
+        std::fprintf(stderr,
+                     "[WARN] LAZYCTRL_LOG=%s not recognized (want "
+                     "debug|info|warn|error or 0-3); keeping warn\n",
+                     env);
+      }
+    }
+    v = static_cast<int>(parsed);
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_sim_time(SimTime now) noexcept {
+  g_sim_time.store(now, std::memory_order_relaxed);
 }
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const SimTime sim = g_sim_time.load(std::memory_order_relaxed);
+  if (sim == kLogSimTimeUnknown) {
+    std::fprintf(stderr, "[%s w=%.1fms] %s\n", level_name(level), wall_ms(),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s t=%.6fs w=%.1fms] %s\n", level_name(level),
+                 to_seconds(sim), wall_ms(), message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -1,19 +1,45 @@
 // Minimal leveled logging.
 //
 // The library is quiet by default (level = kWarn); benches and examples can
-// raise verbosity. Logging goes to stderr so bench stdout stays parseable.
+// raise verbosity with set_log_level(), the LAZYCTRL_LOG environment
+// variable ("debug", "info", "warn", "error" or 0-3), or lazyctrl_run's
+// --log-level flag. Logging goes to stderr so bench stdout stays
+// parseable.
+//
+// Every line carries a monotonic wall timestamp (milliseconds since the
+// first log emission) and — while a simulation is dispatching events —
+// the current simulation time: `[INFO t=3602.100s w=152.7ms] ...`. The
+// simulator publishes its clock through set_log_sim_time() on each event
+// dispatch; outside a run the t= field is omitted.
 #pragma once
 
+#include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#include "common/time.h"
 
 namespace lazyctrl {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum level that is actually emitted.
+/// Sets the global minimum level that is actually emitted (overrides
+/// LAZYCTRL_LOG).
 void set_log_level(LogLevel level) noexcept;
+/// Current minimum level; initialized from LAZYCTRL_LOG on first use.
 LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive) or "0".."3"
+/// into `*out`. Returns false (leaving `*out` untouched) on anything else.
+bool parse_log_level(std::string_view text, LogLevel* out) noexcept;
+
+/// Publishes the simulation clock for log-line timestamps. The simulator
+/// calls this on every event dispatch; pass kLogSimTimeUnknown to clear
+/// (timestamps then omit the t= field).
+inline constexpr SimTime kLogSimTimeUnknown =
+    std::numeric_limits<SimTime>::min();
+void set_log_sim_time(SimTime now) noexcept;
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace lazyctrl::core {
 
 CentralController::CentralController(const Config& config)
@@ -25,6 +27,17 @@ std::optional<ClibEntry> CentralController::clib_lookup(MacAddress mac) const {
 SimTime CentralController::admit_request(SimTime arrival) {
   ++total_requests_;
   ++window_requests_;
+  if (arrival < outage_until_) {
+    // Arrived into an ongoing outage: it queues until the outage lifts.
+    ++outage_queue_depth_;
+    ++outage_queued_total_;
+    outage_queue_peak_ = std::max(outage_queue_peak_, outage_queue_depth_);
+  } else if (outage_queue_depth_ > 0) {
+    // First post-outage admission — the FIFO backlog drains ahead of it.
+    obs::trace_instant(obs::TraceEventType::kControllerOutageDrain, arrival,
+                       outage_queue_depth_);
+    outage_queue_depth_ = 0;
+  }
   // Earliest-free server of the cluster takes the request.
   auto it = std::min_element(servers_free_at_.begin(), servers_free_at_.end());
   const SimTime start = std::max({arrival, *it, outage_until_});

@@ -65,6 +65,20 @@ class CentralController {
     return total_requests_;
   }
 
+  // --- outage observability (obs::Registry reads these) ---
+  /// Requests currently queued behind an ongoing outage (0 once drained).
+  [[nodiscard]] std::uint64_t outage_queue_depth() const noexcept {
+    return outage_queue_depth_;
+  }
+  /// Deepest the outage backlog ever got.
+  [[nodiscard]] std::uint64_t outage_queue_peak() const noexcept {
+    return outage_queue_peak_;
+  }
+  /// Requests that ever arrived during an outage window, cumulative.
+  [[nodiscard]] std::uint64_t outage_queued_total() const noexcept {
+    return outage_queued_total_;
+  }
+
   // --- workload window / regrouping trigger (§IV-B) ---
   /// Closes the current stats window at `now`; returns requests in it.
   std::uint64_t roll_window(SimTime now);
@@ -97,6 +111,9 @@ class CentralController {
   std::vector<SimTime> servers_free_at_;
   std::uint64_t total_requests_ = 0;
   SimTime outage_until_ = 0;  ///< no service starts before this time
+  std::uint64_t outage_queue_depth_ = 0;
+  std::uint64_t outage_queue_peak_ = 0;
+  std::uint64_t outage_queued_total_ = 0;
 
   // Stats windows.
   std::uint64_t window_requests_ = 0;

@@ -40,6 +40,20 @@ class EdgeSwitch {
   [[nodiscard]] GFib& gfib() noexcept { return gfib_; }
   [[nodiscard]] const GFib& gfib() const noexcept { return gfib_; }
   [[nodiscard]] openflow::FlowTable& flow_table() noexcept { return table_; }
+  [[nodiscard]] const openflow::FlowTable& flow_table() const noexcept {
+    return table_;
+  }
+  /// Aggregate table occupancy, read by obs::Registry gauges ("fib.*").
+  struct TableSizes {
+    std::size_t lfib_entries = 0;
+    std::size_t flow_table_rules = 0;
+    std::size_t gfib_peers = 0;
+    std::size_t gfib_bytes = 0;
+  };
+  [[nodiscard]] TableSizes table_sizes() const noexcept {
+    return {lfib_.size(), table_.size(), gfib_.peer_count(),
+            gfib_.storage_bytes()};
+  }
 
   // --- group membership ---
   void set_group(GroupId g) noexcept { group_ = g; }

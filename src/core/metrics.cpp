@@ -1,0 +1,101 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace lazyctrl::core {
+
+namespace {
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_d(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// First diverging bucket of two identical-geometry series, or the
+/// geometry itself when that differs.
+std::string series_diff(const char* name, const TimeBucketSeries& a,
+                        const TimeBucketSeries& b) {
+  std::string out = "field '";
+  out += name;
+  out += "' ";
+  if (a.bucket_width() != b.bucket_width() ||
+      a.bucket_count() != b.bucket_count()) {
+    out += "geometry differs: " + fmt_u64(a.bucket_count()) + " x " +
+           fmt_d(to_seconds(a.bucket_width())) + "s vs " +
+           fmt_u64(b.bucket_count()) + " x " +
+           fmt_d(to_seconds(b.bucket_width())) + "s buckets";
+    return out;
+  }
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    const bool sum_differs = a.bucket_sum(i) != b.bucket_sum(i);
+    if (sum_differs || a.bucket_events(i) != b.bucket_events(i)) {
+      out += "bucket " + fmt_u64(i) + " (hours " + a.bucket_label_hours(i) +
+             "): ";
+      if (sum_differs) {
+        out += "sum " + fmt_d(a.bucket_sum(i)) + " vs " +
+               fmt_d(b.bucket_sum(i));
+      } else {
+        out += "events " + fmt_u64(a.bucket_events(i)) + " vs " +
+               fmt_u64(b.bucket_events(i));
+      }
+      return out;
+    }
+  }
+  out += "diverges (no single bucket differs?)";  // unreachable
+  return out;
+}
+
+std::string stats_diff(const char* name, const RunningStats& a,
+                       const RunningStats& b) {
+  std::string out = "field '";
+  out += name;
+  out += "' ";
+  if (a.count() != b.count()) {
+    out += "count " + fmt_u64(a.count()) + " vs " + fmt_u64(b.count());
+  } else if (a.sum() != b.sum()) {
+    out += "sum " + fmt_d(a.sum()) + " vs " + fmt_d(b.sum());
+  } else if (a.mean() != b.mean()) {
+    out += "mean " + fmt_d(a.mean()) + " vs " + fmt_d(b.mean());
+  } else if (a.min() != b.min()) {
+    out += "min " + fmt_d(a.min()) + " vs " + fmt_d(b.min());
+  } else if (a.max() != b.max()) {
+    out += "max " + fmt_d(a.max()) + " vs " + fmt_d(b.max());
+  } else {
+    // identical_to also compares the raw second moment, which can
+    // diverge while the derived accessors agree (summation order).
+    out += "second moment (m2) differs; derived stats agree";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunMetrics::diff_report(const RunMetrics& o) const {
+  const std::string prefix = "RunMetrics diverge: first differing ";
+#define LAZYCTRL_X(f) \
+  if (!f.identical_to(o.f)) return prefix + series_diff(#f, f, o.f);
+  LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f)                                                   \
+  if (f != o.f)                                                         \
+    return prefix + "field '" #f "' " + fmt_u64(f) + " vs " +           \
+           fmt_u64(o.f) + " (delta " +                                  \
+           fmt_d(static_cast<double>(o.f) - static_cast<double>(f)) +   \
+           ")";
+  LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f) \
+  if (!f.identical_to(o.f)) return prefix + stats_diff(#f, f, o.f);
+  LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+  return "";
+}
+
+}  // namespace lazyctrl::core

@@ -3,18 +3,62 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/stats.h"
 #include "common/time.h"
 
 namespace lazyctrl::core {
 
-// ADDING A FIELD? Also extend merge_from() AND identical_to() at the
-// bottom of this struct — fast-mode sharded replay folds per-shard
-// records through the former (a field missing there is silently
-// under-reported in parallel runs only), and the deterministic mode's
-// bit-identity gate compares through the latter (a field missing there
-// is silently un-checked).
+// The three X-macro lists below are the SINGLE source of truth for
+// RunMetrics' fields: the declarations, merge_from(), identical_to(),
+// diff_report() and the for_each_* registry enumeration all expand from
+// them, so a field added to a list is automatically merged in fast-mode
+// sharded replay, compared by the determinism gate, named in divergence
+// diffs and enumerable by obs::Registry. A field added by hand instead
+// fails the sizeof static_assert at the bottom of this header.
+//
+// Declaration-order note: keep series first, counters second,
+// RunningStats last — diff_report reports the FIRST diverging field in
+// this order.
+
+/// TimeBucketSeries fields (merge bucket-wise, identical geometry).
+#define LAZYCTRL_METRICS_SERIES_FIELDS(X) \
+  X(controller_requests)                  \
+  X(packet_latency)                       \
+  X(grouping_updates)                     \
+  X(flow_arrivals)                        \
+  X(inter_group_arrivals)
+
+/// Plain uint64_t counters (merge by addition).
+#define LAZYCTRL_METRICS_COUNTER_FIELDS(X) \
+  X(flows_seen)                            \
+  X(packets_accounted)                     \
+  X(controller_packet_ins)                 \
+  X(flows_local_delivery)                  \
+  X(flows_intra_group)                     \
+  X(flows_inter_group)                     \
+  X(flows_flow_table_hit)                  \
+  X(bf_false_positive_copies)              \
+  X(bf_misforward_drops)                   \
+  X(peer_link_messages)                    \
+  X(state_link_messages)                   \
+  X(control_link_messages)                 \
+  X(grouping_update_count)                 \
+  X(preload_rules_installed)               \
+  X(transition_punts)                      \
+  X(dgm_rounds)                            \
+  X(dgm_plans_applied)                     \
+  X(dgm_switch_moves)                      \
+  X(dgm_group_merges)                      \
+  X(dgm_group_splits)                      \
+  X(dgm_flow_mods)
+
+/// RunningStats fields (merge pairwise).
+#define LAZYCTRL_METRICS_STATS_FIELDS(X) \
+  X(first_packet_latency_ms)             \
+  X(controller_queue_delay_ms)
+
 struct RunMetrics {
   explicit RunMetrics(SimDuration horizon)
       : controller_requests(kHour, horizon),
@@ -71,73 +115,82 @@ struct RunMetrics {
   /// runtime's fast mode folds each shard's local metrics into the run
   /// metrics with this at the end of replay.
   void merge_from(const RunMetrics& other) {
-    controller_requests.merge_from(other.controller_requests);
-    packet_latency.merge_from(other.packet_latency);
-    grouping_updates.merge_from(other.grouping_updates);
-    flow_arrivals.merge_from(other.flow_arrivals);
-    inter_group_arrivals.merge_from(other.inter_group_arrivals);
-
-    flows_seen += other.flows_seen;
-    packets_accounted += other.packets_accounted;
-    controller_packet_ins += other.controller_packet_ins;
-    flows_local_delivery += other.flows_local_delivery;
-    flows_intra_group += other.flows_intra_group;
-    flows_inter_group += other.flows_inter_group;
-    flows_flow_table_hit += other.flows_flow_table_hit;
-    bf_false_positive_copies += other.bf_false_positive_copies;
-    bf_misforward_drops += other.bf_misforward_drops;
-    peer_link_messages += other.peer_link_messages;
-    state_link_messages += other.state_link_messages;
-    control_link_messages += other.control_link_messages;
-    grouping_update_count += other.grouping_update_count;
-    preload_rules_installed += other.preload_rules_installed;
-    transition_punts += other.transition_punts;
-
-    dgm_rounds += other.dgm_rounds;
-    dgm_plans_applied += other.dgm_plans_applied;
-    dgm_switch_moves += other.dgm_switch_moves;
-    dgm_group_merges += other.dgm_group_merges;
-    dgm_group_splits += other.dgm_group_splits;
-    dgm_flow_mods += other.dgm_flow_mods;
-
-    first_packet_latency_ms.merge_from(other.first_packet_latency_ms);
-    controller_queue_delay_ms.merge_from(other.controller_queue_delay_ms);
+#define LAZYCTRL_X(f) f.merge_from(other.f);
+    LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X)
+    LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f) f += other.f;
+    LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
   }
 
   /// Bit-exact equality of EVERY field — the single definition of the
   /// deterministic sharded-replay acceptance check; the runtime tests and
-  /// bench_parallel_scaling's gate both compare through this.
+  /// bench_parallel_scaling's gate both compare through this. When it
+  /// returns false, diff_report() names the offender.
   [[nodiscard]] bool identical_to(const RunMetrics& o) const {
-    return controller_requests.identical_to(o.controller_requests) &&
-           packet_latency.identical_to(o.packet_latency) &&
-           grouping_updates.identical_to(o.grouping_updates) &&
-           flow_arrivals.identical_to(o.flow_arrivals) &&
-           inter_group_arrivals.identical_to(o.inter_group_arrivals) &&
-           flows_seen == o.flows_seen &&
-           packets_accounted == o.packets_accounted &&
-           controller_packet_ins == o.controller_packet_ins &&
-           flows_local_delivery == o.flows_local_delivery &&
-           flows_intra_group == o.flows_intra_group &&
-           flows_inter_group == o.flows_inter_group &&
-           flows_flow_table_hit == o.flows_flow_table_hit &&
-           bf_false_positive_copies == o.bf_false_positive_copies &&
-           bf_misforward_drops == o.bf_misforward_drops &&
-           peer_link_messages == o.peer_link_messages &&
-           state_link_messages == o.state_link_messages &&
-           control_link_messages == o.control_link_messages &&
-           grouping_update_count == o.grouping_update_count &&
-           preload_rules_installed == o.preload_rules_installed &&
-           transition_punts == o.transition_punts &&
-           dgm_rounds == o.dgm_rounds &&
-           dgm_plans_applied == o.dgm_plans_applied &&
-           dgm_switch_moves == o.dgm_switch_moves &&
-           dgm_group_merges == o.dgm_group_merges &&
-           dgm_group_splits == o.dgm_group_splits &&
-           dgm_flow_mods == o.dgm_flow_mods &&
-           first_packet_latency_ms.identical_to(o.first_packet_latency_ms) &&
-           controller_queue_delay_ms.identical_to(
-               o.controller_queue_delay_ms);
+    return true
+#define LAZYCTRL_X(f) && f.identical_to(o.f)
+        LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X)
+            LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f) && f == o.f
+                LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X);
+#undef LAZYCTRL_X
+  }
+
+  /// Human-readable divergence diagnosis: empty string when identical,
+  /// otherwise one line naming the FIRST diverging field in declaration
+  /// order — for series, also the first diverging time bucket and its
+  /// hour label; for RunningStats, the first diverging moment. This is
+  /// what lazyctrl_run prints when a repetition breaks the determinism
+  /// gate. Defined in metrics.cpp.
+  [[nodiscard]] std::string diff_report(const RunMetrics& o) const;
+
+  /// Enumeration hooks for obs::Registry (and anything else that wants
+  /// every field by name without hand-maintaining a list).
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+#define LAZYCTRL_X(f) fn(#f, f);
+    LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+  }
+  template <typename Fn>
+  void for_each_series(Fn&& fn) const {
+#define LAZYCTRL_X(f) fn(#f, f);
+    LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+  }
+  template <typename Fn>
+  void for_each_running_stats(Fn&& fn) const {
+#define LAZYCTRL_X(f) fn(#f, f);
+    LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
   }
 };
+
+namespace detail {
+#define LAZYCTRL_X(f) +1
+inline constexpr std::size_t kMetricsSeriesFields =
+    LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X);
+inline constexpr std::size_t kMetricsCounterFields =
+    LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X);
+inline constexpr std::size_t kMetricsStatsFields =
+    LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X);
+#undef LAZYCTRL_X
+}  // namespace detail
+
+// Field-count lock: every RunMetrics member type is 8-byte aligned, so
+// the struct's size is exactly the sum of its parts — a field declared
+// in the struct but missing from its X-macro list (or vice versa) makes
+// this fail to compile instead of silently under-merging in parallel
+// runs or escaping the determinism gate.
+static_assert(sizeof(RunMetrics) ==
+                  detail::kMetricsSeriesFields * sizeof(TimeBucketSeries) +
+                      detail::kMetricsCounterFields * sizeof(std::uint64_t) +
+                      detail::kMetricsStatsFields * sizeof(RunningStats),
+              "RunMetrics field declared outside its X-macro list; add it "
+              "to LAZYCTRL_METRICS_{SERIES,COUNTER,STATS}_FIELDS so merge/"
+              "compare/diff/enumerate all see it");
 
 }  // namespace lazyctrl::core

@@ -6,6 +6,8 @@
 
 #include "common/log.h"
 #include "net/packet.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/sharded_runtime.h"
 
 namespace lazyctrl::core {
@@ -46,6 +48,8 @@ void Network::bootstrap() {
 void Network::bootstrap(const graph::WeightedGraph& history_intensity) {
   assert(!bootstrapped_);
   bootstrapped_ = true;
+  obs::ScopedTimer timer(obs::TraceEventType::kBootstrap, simulator_.now(),
+                         topology_.switch_count(), topology_.host_count());
 
   // Live state dissemination at bootstrap (§III-D3): every switch learns
   // its attached hosts; the controller builds the C-LIB.
@@ -108,6 +112,8 @@ void Network::select_designated(const std::vector<SwitchId>& members) {
 
 void Network::rebuild_group_fib(const std::vector<SwitchId>& members,
                                 std::span<const SwitchId> changed_members) {
+  obs::ScopedTimer timer(obs::TraceEventType::kGfibRebuild, simulator_.now(),
+                         members.size(), changed_members.size());
   // Per-member MAC lists (excluded hosts are invisible to G-FIBs),
   // collected lazily: the common delta outcome — nothing joined, nothing
   // changed — needs no list at all, so e.g. the §III-D3 first-contact
@@ -392,6 +398,8 @@ void Network::on_flow(const workload::Flow& flow) {
 
 void Network::on_flow_batch(const std::vector<workload::Flow>& flows,
                             std::size_t begin, std::size_t end) {
+  obs::ScopedTimer timer(obs::TraceEventType::kReplaySpan, flows[begin].start,
+                         end - begin, begin);
   BatchScratch& b = *batch_;
   b.packets.clear();
   b.meta.clear();
@@ -648,6 +656,8 @@ void Network::finish_controller_flow(const workload::Flow& flow,
                                      const net::Packet& pkt,
                                      ControllerPathReason reason,
                                      RunMetrics& m) {
+  obs::trace_instant(obs::TraceEventType::kFlowPunt, flow.start,
+                     static_cast<std::uint64_t>(reason), src_sw.value());
   const SimTime now = flow.start;
   const LatencyModel& lat = config_.latency;
   const PathDelays paths = path_delays();
@@ -887,7 +897,11 @@ bool Network::deactivate_tenant(TenantId tenant) {
 
 void Network::begin_controller_outage(SimDuration duration) {
   if (duration <= 0) return;
-  controller_.begin_outage(simulator_.now() + duration);
+  const SimTime now = simulator_.now();
+  obs::trace_instant(obs::TraceEventType::kControllerOutageBegin, now,
+                     static_cast<std::uint64_t>((now + duration) / kMillisecond),
+                     controller_.outage_queue_depth());
+  controller_.begin_outage(now + duration);
 }
 
 bool Network::inject_switch_failure(SwitchId sw) {
@@ -1149,6 +1163,114 @@ std::size_t Network::total_gfib_bytes() const {
   std::size_t total = 0;
   for (const auto& sw : switches_) total += sw->gfib().storage_bytes();
   return total;
+}
+
+void Network::register_stats(obs::Registry& r) {
+  // RunMetrics: every field, straight off the X-macro lists. Gauges (not
+  // pointer counters) because begin_replay() replaces metrics_'s storage.
+#define LAZYCTRL_X(f)                    \
+  r.gauge("metrics." #f,                 \
+          [this] { return static_cast<double>(metrics_->f); });
+  LAZYCTRL_METRICS_COUNTER_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f)                                             \
+  r.gauge("metrics." #f ".events", [this] {                       \
+    std::uint64_t events = 0;                                     \
+    const TimeBucketSeries& s = metrics_->f;                      \
+    for (std::size_t i = 0; i < s.bucket_count(); ++i)            \
+      events += s.bucket_events(i);                               \
+    return static_cast<double>(events);                           \
+  });
+  LAZYCTRL_METRICS_SERIES_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+#define LAZYCTRL_X(f)                                                       \
+  r.gauge("metrics." #f ".count",                                           \
+          [this] { return static_cast<double>(metrics_->f.count()); });     \
+  r.gauge("metrics." #f ".mean", [this] { return metrics_->f.mean(); });    \
+  r.gauge("metrics." #f ".max", [this] { return metrics_->f.max(); });
+  LAZYCTRL_METRICS_STATS_FIELDS(LAZYCTRL_X)
+#undef LAZYCTRL_X
+
+  // Controller load and outage-queue state.
+  r.gauge("controller.total_requests", [this] {
+    return static_cast<double>(controller_.total_requests());
+  });
+  r.gauge("controller.clib_size", [this] {
+    return static_cast<double>(controller_.clib_size());
+  });
+  r.gauge("controller.outage_queue_depth", [this] {
+    return static_cast<double>(controller_.outage_queue_depth());
+  });
+  r.gauge("controller.outage_queue_peak", [this] {
+    return static_cast<double>(controller_.outage_queue_peak());
+  });
+  r.gauge("controller.outage_queued_total", [this] {
+    return static_cast<double>(controller_.outage_queued_total());
+  });
+
+  // FIB occupancy across all switches.
+  r.gauge("fib.gfib_total_bytes",
+          [this] { return static_cast<double>(total_gfib_bytes()); });
+  const auto table_sum = [this](std::size_t EdgeSwitch::TableSizes::*field) {
+    std::size_t total = 0;
+    for (const auto& sw : switches_) total += sw->table_sizes().*field;
+    return static_cast<double>(total);
+  };
+  r.gauge("fib.lfib_entries", [table_sum] {
+    return table_sum(&EdgeSwitch::TableSizes::lfib_entries);
+  });
+  r.gauge("fib.flow_table_rules", [table_sum] {
+    return table_sum(&EdgeSwitch::TableSizes::flow_table_rules);
+  });
+  r.gauge("fib.gfib_peers", [table_sum] {
+    return table_sum(&EdgeSwitch::TableSizes::gfib_peers);
+  });
+
+  // Grouping / failover.
+  r.counter("grouping.epoch", &grouping_epoch_);
+  r.gauge("grouping.group_count", [this] {
+    return static_cast<double>(controller_.grouping().group_count);
+  });
+  r.gauge("failover.detections", [this] {
+    return static_cast<double>(failover_event_count());
+  });
+
+  // DGM round outcomes — direct pointer counters: MaintainerStats lives
+  // inside the Maintainer member, so its addresses are stable.
+  if (dgm_) {
+    const dgm::MaintainerStats& s = dgm_->stats();
+    r.counter("dgm.rounds", &s.rounds);
+    r.counter("dgm.plans_applied", &s.plans_applied);
+    r.counter("dgm.switch_moves", &s.switch_moves);
+    r.counter("dgm.group_merges", &s.group_merges);
+    r.counter("dgm.group_splits", &s.group_splits);
+    r.counter("dgm.flow_mods", &s.flow_mods);
+  }
+
+  // Sharded-runtime span stats (all zero until a sharded replay ran).
+  r.counter("runtime.spans", &runtime_obs_.spans);
+  r.counter("runtime.flows", &runtime_obs_.flows);
+  r.counter("runtime.deferred_flows", &runtime_obs_.deferred_flows);
+  r.counter("runtime.drain_hits", &runtime_obs_.drain_hits);
+  r.counter("runtime.redecided_flows", &runtime_obs_.redecided_flows);
+  r.counter("runtime.repartitions", &runtime_obs_.repartitions);
+  r.counter("runtime.mailbox_high_water", &runtime_obs_.mailbox_high_water);
+
+  // Wall-clock phase totals from the trace recorder (zero when tracing
+  // was off for the run).
+  const auto phase = [](obs::TraceEventType t) {
+    return [t] {
+      return static_cast<double>(obs::recorder().phase_total(t).wall_ns) /
+             1e6;
+    };
+  };
+  r.gauge("phase.bootstrap_wall_ms", phase(obs::TraceEventType::kBootstrap));
+  r.gauge("phase.gfib_rebuild_wall_ms",
+          phase(obs::TraceEventType::kGfibRebuild));
+  r.gauge("phase.replay_span_wall_ms",
+          phase(obs::TraceEventType::kReplaySpan));
+  r.gauge("phase.barrier_wait_wall_ms",
+          phase(obs::TraceEventType::kShardBarrierWait));
 }
 
 }  // namespace lazyctrl::core

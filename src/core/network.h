@@ -41,6 +41,10 @@ namespace lazyctrl::runtime {
 class ShardedRuntime;
 }
 
+namespace lazyctrl::obs {
+class Registry;
+}
+
 namespace lazyctrl::core {
 
 class Network : private dgm::GroupingHost {
@@ -110,6 +114,33 @@ class Network : private dgm::GroupingHost {
   }
   /// Total G-FIB storage across all switches, in bytes.
   [[nodiscard]] std::size_t total_gfib_bytes() const;
+
+  // --- observability (src/obs) ---
+  /// Registers every observable of this network into `registry` under the
+  /// naming scheme of docs/OBSERVABILITY.md: all RunMetrics fields
+  /// (gauges — begin_replay() swaps the metrics storage, so pointers
+  /// taken now would dangle), controller load/outage-queue state, FIB
+  /// occupancy and G-FIB bytes, DGM round outcomes, sharded-runtime span
+  /// stats and the wall-clock phase totals. The registry must not outlive
+  /// this Network. Reading registered values never mutates run state.
+  void register_stats(obs::Registry& registry);
+
+  /// Sharded-runtime statistics of the last replay(), copied out before
+  /// the ephemeral runtime is destroyed. `valid` stays false for
+  /// single-threaded replays.
+  struct RuntimeObsStats {
+    bool valid = false;
+    std::uint64_t spans = 0;            ///< bounded-lag window spans
+    std::uint64_t flows = 0;            ///< flows through the shard path
+    std::uint64_t deferred_flows = 0;   ///< controller-path deferrals
+    std::uint64_t drain_hits = 0;       ///< fast-mode mailbox drains
+    std::uint64_t redecided_flows = 0;  ///< stale-decision replays
+    std::uint64_t repartitions = 0;     ///< grouping-epoch repartitions
+    std::uint64_t mailbox_high_water = 0;  ///< max per-shard drain backlog
+  };
+  [[nodiscard]] const RuntimeObsStats& runtime_obs() const noexcept {
+    return runtime_obs_;
+  }
 
   // --- dynamic group maintenance (active when config.dgm.mode != kOff) ---
   /// Runs one DGM maintenance round now. Normally driven by the periodic
@@ -414,6 +445,10 @@ class Network : private dgm::GroupingHost {
 
   /// One failure-detection wheel per group (empty unless failover enabled).
   std::vector<std::unique_ptr<FailureWheel>> wheels_;
+
+  /// Last sharded replay's stats (see runtime_obs()); the ShardedRuntime
+  /// fills this in through the friend seam at the end of its replay.
+  RuntimeObsStats runtime_obs_;
 
   bool bootstrapped_ = false;
   bool replayed_ = false;

@@ -1,6 +1,7 @@
 #include "dgm/maintainer.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace lazyctrl::dgm {
 
@@ -43,6 +44,9 @@ MaintenanceRound Maintainer::maintenance_round(const TrafficMonitor& monitor,
       detector_.evaluate(monitor, live, group_size_limit_, now);
   round.inter_before = round.verdict.inter_fraction;
   round.inter_after = round.inter_before;
+  obs::trace_instant(
+      obs::TraceEventType::kDgmRound, now, round.verdict.triggered() ? 1 : 0,
+      static_cast<std::uint64_t>(round.inter_before * 100.0));
 
   const bool evidence_ok =
       round.verdict.evidence >= config_.min_flow_evidence;
@@ -77,6 +81,8 @@ MaintenanceRound Maintainer::maintenance_round(const TrafficMonitor& monitor,
           monitor.split(host_->current_grouping()).inter_fraction();
       detector_.note_regrouped(round.inter_after, now);
       last_applied_at_ = now;
+      obs::trace_instant(obs::TraceEventType::kDgmPlanApply, now, round.moves,
+                         round.flow_mods);
 
       ++stats_.plans_applied;
       stats_.switch_moves += round.moves;

@@ -1,0 +1,74 @@
+#include "obs/registry.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace lazyctrl::obs {
+
+void Registry::counter(std::string name, const std::uint64_t* value) {
+  assert(value != nullptr);
+  Entry e;
+  e.counter = value;
+  entries_[std::move(name)] = std::move(e);
+}
+
+void Registry::gauge(std::string name, std::function<double()> read) {
+  assert(read);
+  Entry e;
+  e.gauge = std::move(read);
+  entries_[std::move(name)] = std::move(e);
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    Sample s;
+    s.name = name;
+    if (entry.counter != nullptr) {
+      s.value = static_cast<double>(*entry.counter);
+      s.is_counter = true;
+    } else {
+      s.value = entry.gauge();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, entry] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += name;  // names are dotted identifiers; no escaping needed
+    out += "\": ";
+    if (entry.counter != nullptr) {
+      // Read the uint64 source directly — a double round trip would lose
+      // precision above 2^53.
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(*entry.counter));
+    } else {
+      const double v = entry.gauge();
+      const bool integral = std::isfinite(v) && v == std::floor(v) &&
+                            std::fabs(v) < 9.0e15;
+      if (integral) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      } else if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+      } else {
+        std::snprintf(buf, sizeof(buf), "0");  // JSON has no NaN/Inf
+      }
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lazyctrl::obs

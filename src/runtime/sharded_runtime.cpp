@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/trace.h"
 #include "topo/topology.h"
 
 namespace lazyctrl::runtime {
@@ -176,12 +177,21 @@ void ShardedRuntime::replay(const workload::Trace& trace) {
       net_.metrics_->merge_from(*shard->metrics);
     }
   }
+
+  // Copy stats into the Network before this (ephemeral) runtime dies, so
+  // obs::Registry gauges registered on the network keep reading them.
+  net_.runtime_obs_ = core::Network::RuntimeObsStats{
+      true,           stats_.spans,           stats_.flows,
+      stats_.deferred_flows, stats_.drain_hits, stats_.redecided_flows,
+      stats_.repartitions,   stats_.mailbox_high_water};
 }
 
 void ShardedRuntime::process_span(const std::vector<workload::Flow>& flows,
                                   std::size_t begin, std::size_t end) {
   refresh_plan();
   const std::size_t n = end - begin;
+  obs::ScopedTimer span_timer(obs::TraceEventType::kReplaySpan,
+                              flows[begin].start, n, begin);
   ++stats_.spans;
   stats_.flows += n;
 
@@ -251,6 +261,9 @@ void ShardedRuntime::process_span(const std::vector<workload::Flow>& flows,
   }
   work_cv_.notify_all();
   {
+    obs::ScopedTimer wait_timer(obs::TraceEventType::kShardBarrierWait,
+                                flows[begin].start, shards_.size(),
+                                span_seq_);
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return done_count_ == workers_.size(); });
   }
@@ -420,9 +433,13 @@ void ShardedRuntime::drain_fast(const std::vector<workload::Flow>& flows,
   drained_.clear();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     DeferredFlow entry;
+    std::uint64_t from_this_shard = 0;
     while (shards_[s]->mailbox.pop(entry)) {
       drained_.emplace_back(static_cast<std::uint32_t>(s), entry);
+      ++from_this_shard;
     }
+    stats_.mailbox_high_water =
+        std::max(stats_.mailbox_high_water, from_this_shard);
   }
   if (drained_.empty()) return;
   // Each mailbox is FIFO in flow order already; restoring GLOBAL flow

@@ -85,6 +85,9 @@ class ShardedRuntime {
     std::uint64_t redecided_flows = 0;   ///< deterministic: staleness
                                          ///< repairs at the merge
     std::uint64_t repartitions = 0;      ///< shard-plan rebuilds observed
+    std::uint64_t mailbox_high_water = 0;  ///< fast: max entries drained
+                                           ///< from one shard's mailbox at
+                                           ///< a single span barrier
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Effective shard count (requested, clamped to groups/switches).

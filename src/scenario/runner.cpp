@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "topo/builder.h"
 #include "workload/generators.h"
 #include "workload/intensity.h"
@@ -272,6 +273,9 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
       break;
   }
   ++(applied ? counts_.applied : counts_.skipped);
+  obs::trace_instant(obs::TraceEventType::kScenarioEvent,
+                     net_->simulator().now(),
+                     static_cast<std::uint64_t>(ev.kind), applied ? 1 : 0);
 }
 
 bool ScenarioRunner::run(std::string* error) {

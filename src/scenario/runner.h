@@ -55,6 +55,9 @@ class ScenarioRunner {
     return net_->metrics();
   }
   [[nodiscard]] const core::Network& network() const { return *net_; }
+  /// Mutable view for post-run observability hooks (e.g. wiring the
+  /// network's stats into an obs::Registry for --stats-dump).
+  [[nodiscard]] core::Network& network() { return *net_; }
   [[nodiscard]] const workload::Trace& trace() const { return *trace_; }
   [[nodiscard]] const EventCounts& event_counts() const noexcept {
     return counts_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "common/log.h"
+
 namespace lazyctrl::sim {
 
 EventId Simulator::schedule_at(SimTime t, Callback cb) {
@@ -30,6 +32,9 @@ void Simulator::cancel(EventId id) {
 
 void Simulator::dispatch(const Event& e) {
   now_ = e.time;
+  // Publish the clock for log-line t= timestamps (one relaxed store per
+  // dispatched event; flow batches amortize it across the whole batch).
+  set_log_sim_time(now_);
   if (cancelled_.erase(e.id) > 0) return;
 
   if (auto it = callbacks_.find(e.id); it != callbacks_.end()) {

@@ -310,5 +310,80 @@ TEST(TimeTest, Conversions) {
   EXPECT_EQ(kHour, 3600 * kSecond);
 }
 
+TEST(TimeBucketSeriesTest, MergeGeometryMismatch) {
+  TimeBucketSeries a(kHour, 4 * kHour);
+  TimeBucketSeries b(kHour, 6 * kHour);
+  b.add(5 * kHour + kMinute, 1.0);
+#ifndef NDEBUG
+  // Debug builds assert on mismatched geometry — the real contract.
+  EXPECT_DEATH_IF_SUPPORTED(a.merge_from(b), "identical geometry");
+#else
+  // NDEBUG builds clamp to the shorter series instead of reading out of
+  // bounds: the overlapping prefix merges, the excess is dropped.
+  a.merge_from(b);
+  EXPECT_EQ(a.bucket_count(), 4u);
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket_events(i), 0u);
+  }
+#endif
+}
+
+TEST(TimeBucketSeriesTest, BucketLabelHoursBoundaries) {
+  TimeBucketSeries s(2 * kHour, 24 * kHour);
+  ASSERT_EQ(s.bucket_count(), 12u);
+  EXPECT_EQ(s.bucket_label_hours(0), "0-2");
+  EXPECT_EQ(s.bucket_label_hours(1), "2-4");
+  EXPECT_EQ(s.bucket_label_hours(11), "22-24");
+
+  // A horizon that is not a multiple of the width rounds the bucket count
+  // up; the final label still spans a full width.
+  TimeBucketSeries ragged(2 * kHour, 5 * kHour);
+  ASSERT_EQ(ragged.bucket_count(), 3u);
+  EXPECT_EQ(ragged.bucket_label_hours(2), "4-6");
+}
+
+TEST(TimeBucketSeriesTest, ZeroEventBucketRateAndMean) {
+  TimeBucketSeries s(kHour, 4 * kHour);
+  s.add(30 * kMinute, 2.0);
+  EXPECT_EQ(s.bucket_events(2), 0u);
+  EXPECT_DOUBLE_EQ(s.bucket_mean(2), 0.0);
+  EXPECT_DOUBLE_EQ(s.bucket_rate_per_sec(2), 0.0);
+  EXPECT_DOUBLE_EQ(s.bucket_sum(2), 0.0);
+}
+
+TEST(TimeBucketSeriesTest, PastHorizonClampsIntoLastBucket) {
+  TimeBucketSeries s(kHour, 4 * kHour);
+  s.add(100 * kHour, 7.0);
+  s.add(-kMinute, 1.0);  // negative times clamp into the first bucket
+  EXPECT_EQ(s.bucket_events(3), 1u);
+  EXPECT_DOUBLE_EQ(s.bucket_sum(3), 7.0);
+  EXPECT_EQ(s.bucket_events(0), 1u);
+}
+
+TEST(RunningStatsTest, MergeEmptySidesIsExact) {
+  RunningStats whole;
+  for (double x : {-2.0, 5.0, 9.5}) whole.add(x);
+
+  // empty.merge_from(nonempty) reproduces the source bit-exactly —
+  // including min/max, which a naive std::min against the 0-initialised
+  // empty state would corrupt.
+  RunningStats empty;
+  empty.merge_from(whole);
+  EXPECT_TRUE(empty.identical_to(whole));
+  EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 9.5);
+
+  // nonempty.merge_from(empty) is the identity.
+  RunningStats copy = whole;
+  copy.merge_from(RunningStats{});
+  EXPECT_TRUE(copy.identical_to(whole));
+
+  // empty + empty stays empty.
+  RunningStats a, b;
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(a.identical_to(RunningStats{}));
+}
+
 }  // namespace
 }  // namespace lazyctrl

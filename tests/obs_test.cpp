@@ -1,0 +1,339 @@
+// Observability subsystem tests: stats registry, trace recorder + Chrome
+// export, divergence diagnostics, and the log-level parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "core/network.h"
+#include "harness.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "topo/builder.h"
+#include "workload/generators.h"
+
+namespace lazyctrl {
+namespace {
+
+using benchx::JsonValue;
+using obs::TraceEventType;
+
+// ---- Registry ----
+
+TEST(RegistryTest, CounterAndGaugeEnumeration) {
+  obs::Registry reg;
+  std::uint64_t punts = 42;
+  double load = 0.5;
+  reg.counter("controller.packet_ins", &punts);
+  reg.gauge("controller.load", [&] { return load; });
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains("controller.packet_ins"));
+  EXPECT_FALSE(reg.contains("controller.nope"));
+
+  auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  // snapshot() is sorted by name.
+  EXPECT_EQ(samples[0].name, "controller.load");
+  EXPECT_FALSE(samples[0].is_counter);
+  EXPECT_DOUBLE_EQ(samples[0].value, 0.5);
+  EXPECT_EQ(samples[1].name, "controller.packet_ins");
+  EXPECT_TRUE(samples[1].is_counter);
+  EXPECT_DOUBLE_EQ(samples[1].value, 42.0);
+
+  // Snapshots read live: mutate the sources, re-snapshot.
+  punts = 43;
+  load = 1.25;
+  samples = reg.snapshot();
+  EXPECT_DOUBLE_EQ(samples[0].value, 1.25);
+  EXPECT_DOUBLE_EQ(samples[1].value, 43.0);
+}
+
+TEST(RegistryTest, ReregisteringOverwrites) {
+  obs::Registry reg;
+  std::uint64_t a = 1, b = 2;
+  reg.counter("x", &a);
+  reg.counter("x", &b);
+  ASSERT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.snapshot()[0].value, 2.0);
+}
+
+TEST(RegistryTest, ToJsonIsValidAndFlat) {
+  obs::Registry reg;
+  std::uint64_t big = 9007199254740993ull;  // > 2^53: integer rendering
+  reg.counter("a.big", &big);
+  reg.gauge("b.pi", [] { return 3.25; });
+  const std::string json = reg.to_json();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(benchx::parse_json(json, &doc, &error)) << error;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.object[0].first, "a.big");
+  EXPECT_EQ(doc.object[1].first, "b.pi");
+  EXPECT_DOUBLE_EQ(doc.object[1].second.number, 3.25);
+  // Counter rendered as an integer literal, not scientific notation.
+  EXPECT_NE(json.find("\"a.big\": 9007199254740993"), std::string::npos);
+}
+
+// ---- TraceRecorder ----
+
+// Every recorder test runs against the global instance; restore the
+// disabled default so other tests (alloc_test contract) see a cold path.
+struct RecorderGuard {
+  ~RecorderGuard() { obs::recorder().disable(); }
+};
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  RecorderGuard guard;
+  obs::recorder().disable();
+  obs::trace_instant(TraceEventType::kFlowPunt, 123, 1, 2);
+  { obs::ScopedTimer t(TraceEventType::kGfibRebuild, 123); }
+  EXPECT_FALSE(obs::tracing_enabled());
+  EXPECT_EQ(obs::recorder().size(), 0u);
+}
+
+TEST(TraceRecorderTest, RingWrapKeepsNewestAndCountsDropped) {
+  RecorderGuard guard;
+  obs::recorder().enable(16);
+  ASSERT_EQ(obs::recorder().capacity(), 16u);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    obs::trace_instant(TraceEventType::kFlowPunt,
+                       static_cast<SimTime>(i) * kMillisecond, i, 0);
+  }
+  EXPECT_EQ(obs::recorder().size(), 16u);
+  EXPECT_EQ(obs::recorder().dropped(), 24u);
+  // Oldest surviving event is #24, newest is #39.
+  EXPECT_EQ(obs::recorder().event(0).arg_a, 24u);
+  EXPECT_EQ(obs::recorder().event(15).arg_a, 39u);
+}
+
+TEST(TraceRecorderTest, PhaseTotalsSurviveRingWrap) {
+  RecorderGuard guard;
+  obs::recorder().enable(16);
+  for (int i = 0; i < 100; ++i) {
+    obs::ScopedTimer t(TraceEventType::kGfibRebuild, 0);
+  }
+  const auto total = obs::recorder().phase_total(TraceEventType::kGfibRebuild);
+  EXPECT_EQ(total.calls, 100u);
+  EXPECT_GE(total.wall_ns, 0);
+}
+
+TEST(TraceRecorderTest, ChromeExportIsValidAndSorted) {
+  RecorderGuard guard;
+  obs::recorder().enable(64);
+  obs::trace_instant(TraceEventType::kFlowPunt, 2 * kSecond, 7, 3);
+  obs::trace_instant(TraceEventType::kControllerOutageBegin, 1 * kSecond, 5,
+                     0);
+  {
+    obs::ScopedTimer outer(TraceEventType::kReplaySpan, 0, 10, 0);
+    obs::ScopedTimer inner(TraceEventType::kShardBarrierWait, 0, 4, 1);
+  }
+
+  const std::string json = obs::recorder().export_chrome_json();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(benchx::parse_json(json, &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  // Per-(pid, tid) timestamps must be monotone in file order even though
+  // nested spans complete inner-before-outer.
+  std::map<std::pair<double, double>, double> last;
+  std::size_t timed = 0, spans = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M") continue;
+    ++timed;
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.find("dur")->number, 0.0);
+    }
+    const std::pair<double, double> track{e.find("pid")->number,
+                                          e.find("tid")->number};
+    const double ts = e.find("ts")->number;
+    if (const auto it = last.find(track); it != last.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last[track] = ts;
+  }
+  EXPECT_EQ(timed, 4u);
+  EXPECT_EQ(spans, 2u);
+}
+
+TEST(TraceRecorderTest, EmptyRingExportsValidJson) {
+  RecorderGuard guard;
+  obs::recorder().enable(16);
+  const std::string json = obs::recorder().export_chrome_json();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(benchx::parse_json(json, &doc, &error)) << error;
+}
+
+// ---- Tracing must not perturb the simulation ----
+
+core::Config small_lazy_config() {
+  core::Config c;
+  c.mode = core::ControlMode::kLazyCtrl;
+  c.grouping.group_size_limit = 6;
+  return c;
+}
+
+core::RunMetrics run_small_scenario() {
+  Rng rng(11);
+  topo::MultiTenantOptions topt;
+  topt.switch_count = 12;
+  topt.tenant_count = 6;
+  topt.min_vms_per_tenant = 8;
+  topt.max_vms_per_tenant = 16;
+  auto topo = topo::build_multi_tenant(topt, rng);
+
+  Rng wrng(12);
+  workload::RealLikeOptions wopt;
+  wopt.total_flows = 3000;
+  wopt.horizon = 2 * kHour;
+  wopt.profile = workload::DiurnalProfile::flat();
+  const auto trace = workload::generate_real_like(topo, wopt, wrng);
+
+  core::Network net(topo, small_lazy_config());
+  net.bootstrap();
+  net.replay(trace);
+  return net.metrics();
+}
+
+TEST(TracingBitIdentityTest, MetricsIdenticalWithTracingOnAndOff) {
+  RecorderGuard guard;
+  obs::recorder().disable();
+  const core::RunMetrics off = run_small_scenario();
+
+  obs::recorder().enable(1 << 12);
+  const core::RunMetrics on = run_small_scenario();
+  EXPECT_GT(obs::recorder().size(), 0u)
+      << "tracing-on run recorded no events — instrumentation missing?";
+
+  EXPECT_TRUE(on.identical_to(off)) << on.diff_report(off);
+  EXPECT_EQ(on.diff_report(off), "");
+}
+
+// ---- Divergence diagnostics ----
+
+TEST(DiffReportTest, NamesFirstDivergingCounter) {
+  core::RunMetrics a(2 * kHour), b(2 * kHour);
+  a.flows_seen = 10;
+  b.flows_seen = 10;
+  b.controller_packet_ins = 3;
+  const std::string report = a.diff_report(b);
+  EXPECT_NE(report.find("controller_packet_ins"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("0"), std::string::npos);
+  EXPECT_NE(report.find("3"), std::string::npos);
+  EXPECT_FALSE(a.identical_to(b));
+}
+
+TEST(DiffReportTest, NamesDivergingSeriesBucket) {
+  core::RunMetrics a(2 * kHour), b(2 * kHour);
+  a.controller_requests.add(30 * kMinute, 1.0);
+  b.controller_requests.add(30 * kMinute, 1.0);
+  b.controller_requests.add(90 * kMinute, 2.0);
+  const std::string report = a.diff_report(b);
+  EXPECT_NE(report.find("controller_requests"), std::string::npos) << report;
+  // Bucket index / hour label of the diverging bucket is named.
+  EXPECT_NE(report.find("bucket"), std::string::npos) << report;
+}
+
+TEST(DiffReportTest, NamesDivergingRunningStats) {
+  core::RunMetrics a(2 * kHour), b(2 * kHour);
+  a.first_packet_latency_ms.add(1.0);
+  b.first_packet_latency_ms.add(2.0);
+  const std::string report = a.diff_report(b);
+  EXPECT_NE(report.find("first_packet_latency_ms"), std::string::npos)
+      << report;
+}
+
+TEST(DiffReportTest, IdenticalMetricsProduceEmptyReport) {
+  core::RunMetrics a(2 * kHour), b(2 * kHour);
+  a.flows_seen = b.flows_seen = 7;
+  a.packet_latency.add(kSecond, 3.0);
+  b.packet_latency.add(kSecond, 3.0);
+  EXPECT_TRUE(a.identical_to(b));
+  EXPECT_EQ(a.diff_report(b), "");
+}
+
+TEST(MetricsXMacroTest, FieldCountsMatchDeclaredLists) {
+  // The static_assert in metrics.h enforces this at compile time; the
+  // runtime check documents the expected counts so an accidental list
+  // edit shows up as a test diff too.
+  EXPECT_EQ(core::detail::kMetricsSeriesFields, 5u);
+  EXPECT_EQ(core::detail::kMetricsCounterFields, 21u);
+  EXPECT_EQ(core::detail::kMetricsStatsFields, 2u);
+
+  std::size_t counters = 0;
+  core::RunMetrics m(kHour);
+  m.for_each_counter([&](const char*, std::uint64_t) { ++counters; });
+  EXPECT_EQ(counters, core::detail::kMetricsCounterFields);
+}
+
+// ---- Network registry wiring ----
+
+TEST(NetworkStatsTest, RegisterStatsExposesCoreCounters) {
+  Rng rng(21);
+  topo::MultiTenantOptions topt;
+  topt.switch_count = 8;
+  topt.tenant_count = 4;
+  topt.min_vms_per_tenant = 6;
+  topt.max_vms_per_tenant = 10;
+  auto topo = topo::build_multi_tenant(topt, rng);
+
+  Rng wrng(22);
+  workload::RealLikeOptions wopt;
+  wopt.total_flows = 1000;
+  wopt.horizon = kHour;
+  wopt.profile = workload::DiurnalProfile::flat();
+  const auto trace = workload::generate_real_like(topo, wopt, wrng);
+
+  core::Network net(topo, small_lazy_config());
+  net.bootstrap();
+  net.replay(trace);
+
+  obs::Registry reg;
+  net.register_stats(reg);
+  for (const char* name :
+       {"metrics.flows_seen", "metrics.controller_packet_ins",
+        "controller.clib_size", "fib.gfib_total_bytes", "grouping.epoch",
+        "runtime.spans", "phase.replay_span_wall_ms"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+
+  double flows_seen = -1;
+  for (const auto& s : reg.snapshot()) {
+    if (s.name == "metrics.flows_seen") flows_seen = s.value;
+  }
+  EXPECT_DOUBLE_EQ(flows_seen, static_cast<double>(net.metrics().flows_seen));
+}
+
+// ---- Log-level parsing ----
+
+TEST(LogLevelTest, ParseAcceptsNamesAndDigits) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(parse_log_level("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(parse_log_level("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(parse_log_level("verbose", &level));
+  EXPECT_FALSE(parse_log_level("", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace lazyctrl

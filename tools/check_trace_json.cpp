@@ -1,0 +1,135 @@
+// CI gate for Chrome trace_event files emitted by the obs::TraceRecorder.
+//
+//   check_trace_json <file> [required_category...]
+//
+// Validates that <file> is a well-formed Chrome trace (the format
+// chrome://tracing and Perfetto load): a JSON object whose "traceEvents"
+// array is non-empty, every event carries the phase-appropriate fields,
+// timestamps are monotone per (pid, tid) track in file order, and — when
+// required categories are listed — each appears on at least one event.
+// Exit codes: 0 ok, 1 validation failure, 2 unreadable file / bad usage.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "harness.h"
+
+using lazyctrl::benchx::JsonValue;
+
+namespace {
+
+bool is_number(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+
+bool is_string(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+
+int fail(std::size_t index, const std::string& reason) {
+  std::fprintf(stderr, "INVALID traceEvents[%zu]: %s\n", index,
+               reason.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file> [required_category...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "check_trace_json: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!lazyctrl::benchx::parse_json(buf.str(), &root, &error)) {
+    std::fprintf(stderr, "INVALID %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "INVALID %s: root is not an object\n", argv[1]);
+    return 1;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "INVALID %s: missing traceEvents array\n", argv[1]);
+    return 1;
+  }
+  if (events->array.empty()) {
+    std::fprintf(stderr, "INVALID %s: traceEvents is empty\n", argv[1]);
+    return 1;
+  }
+
+  static const std::set<std::string> kKnownPhases = {"M", "i", "I",
+                                                    "X", "B", "E"};
+  // Last timestamp seen on each (pid, tid) track; the exporter sorts each
+  // track, so a regression here means the file would render scrambled.
+  std::map<std::pair<double, double>, double> last_ts;
+  std::set<std::string> categories;
+  std::size_t timed_events = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.kind != JsonValue::Kind::kObject) {
+      return fail(i, "event is not an object");
+    }
+    const JsonValue* ph = e.find("ph");
+    if (!is_string(ph)) return fail(i, "missing string \"ph\"");
+    if (!kKnownPhases.contains(ph->string)) {
+      return fail(i, "unknown phase \"" + ph->string + "\"");
+    }
+    if (!is_string(e.find("name"))) return fail(i, "missing string \"name\"");
+    if (!is_number(e.find("pid"))) return fail(i, "missing numeric \"pid\"");
+    if (!is_number(e.find("tid"))) return fail(i, "missing numeric \"tid\"");
+    if (ph->string == "M") continue;  // metadata carries no ts/cat
+
+    const JsonValue* ts = e.find("ts");
+    if (!is_number(ts)) return fail(i, "missing numeric \"ts\"");
+    const JsonValue* cat = e.find("cat");
+    if (!is_string(cat)) return fail(i, "missing string \"cat\"");
+    categories.insert(cat->string);
+    ++timed_events;
+    if (ph->string == "X") {
+      const JsonValue* dur = e.find("dur");
+      if (!is_number(dur)) return fail(i, "X event missing numeric \"dur\"");
+      if (dur->number < 0) return fail(i, "X event with negative dur");
+    }
+    const std::pair<double, double> track{e.find("pid")->number,
+                                          e.find("tid")->number};
+    if (const auto it = last_ts.find(track);
+        it != last_ts.end() && ts->number < it->second) {
+      return fail(i, "ts goes backwards on its (pid, tid) track");
+    }
+    last_ts[track] = ts->number;
+  }
+
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!categories.contains(argv[i])) {
+      std::fprintf(stderr, "INVALID %s: no event with category \"%s\"\n",
+                   argv[1], argv[i]);
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+
+  std::string cat_list;
+  for (const std::string& c : categories) {
+    if (!cat_list.empty()) cat_list += ",";
+    cat_list += c;
+  }
+  std::printf("ok      %s (%zu events, %zu tracks, categories: %s)\n",
+              argv[1], timed_events, last_ts.size(), cat_list.c_str());
+  return 0;
+}

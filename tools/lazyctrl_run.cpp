@@ -15,6 +15,15 @@
 //   --json-dir DIR           where BENCH_*.json lands (overrides env
 //                            LAZYCTRL_BENCH_JSON_DIR)
 //   --print-spec             print the canonical serialized spec and exit
+//   --trace FILE             record sim-time/wall-clock trace events during
+//                            the final repetition and write them to FILE in
+//                            Chrome trace_event JSON (load in Perfetto or
+//                            chrome://tracing; see docs/OBSERVABILITY.md)
+//   --stats-dump             after the final repetition, enumerate the
+//                            network's obs::Registry (counters + gauges) to
+//                            stdout and into the JSON "stats" section
+//   --log-level LEVEL        set log verbosity (debug|info|warn|error or
+//                            0-3; overrides LAZYCTRL_LOG)
 //
 // Exit codes: 0 ok; 1 scenario ran but a repetition's metrics diverged
 // (non-determinism — a bug); 2 parse/semantic/usage failure.
@@ -29,8 +38,12 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "core/metrics.h"
+#include "core/network.h"
 #include "harness.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
 
@@ -41,7 +54,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario.scn> [--set section.key=value]... "
-               "[--scale F] [--reps N] [--json-dir DIR] [--print-spec]\n",
+               "[--scale F] [--reps N] [--json-dir DIR] [--print-spec]\n"
+               "          [--trace FILE] [--stats-dump] [--log-level LEVEL]\n",
                argv0);
   return 2;
 }
@@ -110,6 +124,8 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   int reps = 2;
   bool print_spec = false;
+  std::string trace_path;
+  bool stats_dump = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,6 +162,24 @@ int main(int argc, char** argv) {
       setenv("LAZYCTRL_BENCH_JSON_DIR", v, 1);
     } else if (arg == "--print-spec") {
       print_spec = true;
+    } else if (arg == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return 2;
+      trace_path = v;
+    } else if (arg == "--stats-dump") {
+      stats_dump = true;
+    } else if (arg == "--log-level") {
+      const char* v = next("--log-level");
+      if (v == nullptr) return 2;
+      LogLevel level;
+      if (!parse_log_level(v, &level)) {
+        std::fprintf(stderr,
+                     "--log-level expects debug|info|warn|error or 0-3, "
+                     "got %s\n",
+                     v);
+        return 2;
+      }
+      set_log_level(level);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -204,6 +238,7 @@ int main(int argc, char** argv) {
   std::optional<core::RunMetrics> reference;
   int rep_index = 0;
   bool all_identical = true;
+  if (!trace_path.empty()) obs::recorder().enable();
   const int status = benchx::run_benchmark(
       "scenario_" + benchx::slugify(spec.name),
       "Scenario — " + spec.name,
@@ -211,6 +246,9 @@ int main(int argc, char** argv) {
       {.repetitions = reps, .warmup = 0},
       [&](benchx::BenchReport& report) {
         ++rep_index;
+        // Each invocation records into a fresh ring so the written file
+        // covers exactly the final repetition.
+        if (!trace_path.empty()) obs::recorder().clear();
         auto runner = std::make_unique<scenario::ScenarioRunner>(spec);
         std::string error;
         if (!runner->run(&error)) {
@@ -225,12 +263,37 @@ int main(int argc, char** argv) {
           identical = runner->metrics().identical_to(*reference);
           if (!identical) {
             all_identical = false;
+            // diff_report names the first diverging field (and, for a
+            // time series, the bucket) — actionable, unlike a bare
+            // exit 1.
             std::fprintf(stderr,
                          "NON-DETERMINISTIC: this repetition's RunMetrics "
-                         "differ from the first run's\n");
+                         "differ from the first run's\n  %s\n",
+                         runner->metrics().diff_report(*reference).c_str());
           }
         }
         if (rep_index >= total_invocations) {
+          if (stats_dump) {
+            obs::Registry registry;
+            runner->network().register_stats(registry);
+            std::printf("  stats registry (%zu entries):\n", registry.size());
+            for (const obs::Registry::Sample& s : registry.snapshot()) {
+              report.stat(s.name, s.value);
+              std::printf("    %-40s %.6g\n", s.name.c_str(), s.value);
+            }
+          }
+          if (!trace_path.empty()) {
+            if (obs::recorder().write_chrome_json(trace_path)) {
+              std::printf("  trace: %zu events -> %s (%llu dropped)\n",
+                          obs::recorder().size(), trace_path.c_str(),
+                          static_cast<unsigned long long>(
+                              obs::recorder().dropped()));
+            } else {
+              std::fprintf(stderr, "cannot write trace to %s\n",
+                           trace_path.c_str());
+              return 2;
+            }
+          }
           if (rep_index >= 2) {
             report.metric("deterministic_rerun_identical",
                           all_identical ? 1.0 : 0.0, "bool");
