@@ -66,7 +66,7 @@ void Network::bootstrap(const graph::WeightedGraph& history_intensity) {
 
   // IniGroup: initial grouping from history (paper: first-hour traffic).
   Grouping grouping = sgi_.initial_grouping(history_intensity, rng_);
-  apply_grouping(std::move(grouping), /*initial=*/true, {});
+  apply_grouping(std::move(grouping), /*initial=*/true);
 }
 
 void Network::compute_excluded_hosts() {
@@ -221,17 +221,36 @@ void Network::rebuild_group_fib(const std::vector<SwitchId>& members,
   }
 }
 
-void Network::apply_grouping(Grouping grouping, bool initial,
-                             const std::vector<GroupId>& touched) {
+void Network::apply_grouping(Grouping grouping, bool initial) {
   grouping.compact();
+
+  // Capture the pre-update membership keyed by old group id BEFORE the
+  // switches are relabelled below. A group needs a designated/G-FIB
+  // rebuild exactly when its member set changed; a pure renumbering
+  // (compaction shuffling ids around) keeps peers and designated — both
+  // stored as switch ids — valid as they are.
+  std::vector<std::vector<SwitchId>> old_members;
+  if (!initial) {
+    for (const auto& sw : switches_) {
+      const GroupId og = sw->group();
+      if (!og.valid()) continue;  // pre-bootstrap switches have no group
+      if (og.value() >= old_members.size()) {
+        old_members.resize(og.value() + 1);
+      }
+      old_members[og.value()].push_back(sw->id());  // ascending by id
+    }
+  }
+
   controller_.set_grouping(std::move(grouping));
   const Grouping& g = controller_.grouping();
   const auto members = g.members();
 
   std::vector<bool> rebuild(members.size(), initial);
   if (!initial) {
-    for (GroupId t : touched) {
-      if (t.value() < rebuild.size()) rebuild[t.value()] = true;
+    for (std::size_t gi = 0; gi < members.size(); ++gi) {
+      const GroupId og = switches_[members[gi].front().value()]->group();
+      rebuild[gi] = !og.valid() || og.value() >= old_members.size() ||
+                    old_members[og.value()] != members[gi];
     }
   }
 
@@ -737,18 +756,19 @@ bool Network::run_legacy_incupdate() {
   LOG_DEBUG("grouping update at t=" << to_seconds(now)
                                     << "s, Winter " << result.inter_group_before
                                     << " -> " << result.inter_group_after);
-  apply_grouping(std::move(grouping), /*initial=*/false,
-                 result.touched_groups);
+  apply_grouping(std::move(grouping), /*initial=*/false);
   ++metrics_->grouping_update_count;
   metrics_->grouping_updates.add_event(now);
   return true;
 }
 
 void Network::commit_grouping(Grouping grouping,
-                              const std::vector<GroupId>& touched) {
+                              const std::vector<GroupId>& /*touched*/) {
   // Same staged semantics as a legacy IncUpdate apply: targeted G-FIB
-  // resync, preload + transition windows, failure-wheel rebuild.
-  apply_grouping(std::move(grouping), /*initial=*/false, touched);
+  // resync, preload + transition windows, failure-wheel rebuild. The
+  // planner's touched list is numbered against the pre-compact grouping,
+  // so apply_grouping derives the rebuild set itself (see network.h).
+  apply_grouping(std::move(grouping), /*initial=*/false);
   controller_.note_regrouped(simulator_.now());
 }
 

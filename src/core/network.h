@@ -47,6 +47,10 @@ class Registry;
 
 namespace lazyctrl::core {
 
+struct InvariantOptions;
+struct InvariantReport;
+class InvariantChecker;
+
 class Network : private dgm::GroupingHost {
  public:
   /// Takes a copy of the topology (migrations mutate it) and the run config.
@@ -220,6 +224,12 @@ class Network : private dgm::GroupingHost {
   /// install log) instead of a wide public surface.
   friend class lazyctrl::runtime::ShardedRuntime;
 
+  /// The read-only conservation-invariant checker (core/invariants.h)
+  /// audits private state — switch tables, dormant hosts, failure wheels
+  /// — without widening the public surface or being able to perturb a
+  /// run. The class lives entirely inside invariants.cpp.
+  friend class InvariantChecker;
+
   struct PathDelays {
     SimDuration local;  ///< host -> switch -> host, same switch
     SimDuration cross;  ///< host -> switch -> underlay -> switch -> host
@@ -345,8 +355,14 @@ class Network : private dgm::GroupingHost {
                             SimDuration first_packet,
                             SimDuration steady_packet, RunMetrics& m);
 
-  void apply_grouping(Grouping grouping, bool initial,
-                      const std::vector<GroupId>& touched);
+  /// Installs `grouping` (compacted) and rebuilds designated switches,
+  /// G-FIBs and transition windows for every group whose member set
+  /// actually changed. The rebuild set is derived here by diffing against
+  /// the switches' previous assignment rather than trusted from the
+  /// caller: compact() renumbers groups by first appearance, so ids
+  /// computed against the pre-compact numbering (IncUpdate/DGM touched
+  /// lists) can point at the wrong group after renumbering.
+  void apply_grouping(Grouping grouping, bool initial);
   /// Brings every member's G-FIB in sync with the group. Normally a
   /// delta pass (peers whose filters exist are kept: host attachment is
   /// derived from the topology, so an installed filter is already

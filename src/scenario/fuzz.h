@@ -1,0 +1,73 @@
+// Seeded scenario fuzzer: random *valid* ScenarioSpecs, a failure
+// harness, and a greedy shrinker.
+//
+// generate_scenario(seed) draws a random topology scale, workload kind
+// and run config, plus a timed event script covering all 12 EventKinds
+// with structurally sane arguments: recoveries are only emitted after a
+// matching failure of the same component, tenant lifecycle events
+// reference distinct tenants with departures strictly after arrivals,
+// and every duration fits inside the workload horizon — so every
+// generated spec survives both the `.scn` round trip and the runner's
+// semantic validation (property-tested over 200 seeds in
+// tests/fuzz_test.cpp).
+//
+// run_scenario_with_checks() is the fuzzing oracle: one run with the
+// conservation-invariant checker (core/invariants.h) evaluated at every
+// event fence and at end of run, then a second run whose RunMetrics must
+// be bit-identical to the first (the determinism contract). Any
+// violation or divergence fails the seed; tools/lazyctrl_fuzz then
+// shrinks the spec with shrink_scenario() and serializes the minimal
+// repro as a `.scn` fit for examples/scenarios/regressions/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace lazyctrl::scenario {
+
+struct FuzzOptions {
+  /// Multiplies the drawn flow count (CI smoke runs use 0.1); the floor
+  /// of 200 flows keeps even heavily scaled runs meaningful.
+  double scale = 1.0;
+  /// Upper bound on drawn script events. Paired recoveries and
+  /// departures ride along, so scripts can end slightly longer.
+  std::size_t max_events = 10;
+};
+
+/// Deterministic: the same (seed, options) always yields the same spec.
+/// The spec is named "fuzz_<seed>", so its serialized file name follows
+/// the repo convention that <name>.scn slugifies to its basename.
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,
+                                             const FuzzOptions& opt = {});
+
+struct FuzzRunResult {
+  bool valid = false;          ///< spec passed the runner's validation
+  bool deterministic = false;  ///< rerun RunMetrics were bit-identical
+  std::vector<std::string> violations;  ///< invariant violations
+  std::string error;  ///< validation error or determinism diff
+
+  [[nodiscard]] bool ok() const noexcept {
+    return valid && deterministic && violations.empty();
+  }
+  /// Multi-line human-readable failure summary ("" when ok()).
+  [[nodiscard]] std::string failure_text() const;
+};
+
+/// Runs `spec` twice (invariant-checked run + bit-identity rerun).
+[[nodiscard]] FuzzRunResult run_scenario_with_checks(
+    const ScenarioSpec& spec);
+
+/// Greedy event-deletion shrinker: repeatedly drops any event whose
+/// removal keeps `still_fails(candidate)` true, until no single deletion
+/// reproduces the failure. The predicate must be deterministic; events a
+/// failure depends on are never lost (deleting them stops reproduction,
+/// so they are kept).
+[[nodiscard]] ScenarioSpec shrink_scenario(
+    ScenarioSpec spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails);
+
+}  // namespace lazyctrl::scenario

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/invariants.h"
 #include "obs/trace.h"
 #include "topo/builder.h"
 #include "workload/generators.h"
@@ -102,7 +103,60 @@ bool ScenarioRunner::validate(std::string* error) const {
                   ", not after its arrival at " + format_duration(it->second));
     }
   }
+  // Same rule the parser enforces with line numbers (spec.cpp), repeated
+  // here for programmatically built specs: a recovery scheduled before
+  // every failure of its component is a script bug; a recovery with no
+  // matching failure anywhere stays a runtime no-op skip.
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const ScenarioEvent& ev = spec_.events[i];
+    const std::optional<EventKind> fail_kind = paired_failure_kind(ev.kind);
+    if (!fail_kind) continue;
+    std::optional<SimTime> earliest;
+    for (const ScenarioEvent& other : spec_.events) {
+      if (other.kind == *fail_kind && other.sw == ev.sw &&
+          (!earliest || other.at < *earliest)) {
+        earliest = other.at;
+      }
+    }
+    if (earliest && ev.at < *earliest) {
+      return fail("event " + std::to_string(i + 1) + " (" +
+                  to_string(ev.kind) + "): sw=" + std::to_string(ev.sw) +
+                  " at " + format_duration(ev.at) + " fires before its " +
+                  to_string(*fail_kind) + " at " +
+                  format_duration(*earliest));
+    }
+  }
   return true;
+}
+
+bool ScenarioRunner::prepare_topology(std::string* error) {
+  // Re-checked here because apply_override() can break it after a clean
+  // parse, and it must hold BEFORE build_multi_tenant: an inverted range
+  // would send the builder's uniform VM-count draw into a 2^64-sized
+  // span.
+  if (spec_.topology.min_vms_per_tenant > spec_.topology.max_vms_per_tenant) {
+    if (error) {
+      *error = "[topology] min_vms_per_tenant exceeds max_vms_per_tenant";
+    }
+    return false;
+  }
+  if (!topology_built_) {
+    Rng rng = Rng::stream(spec_.seed, kTopologyStream);
+    topo::MultiTenantOptions opt;
+    opt.switch_count = spec_.topology.switches;
+    opt.tenant_count = spec_.topology.tenants;
+    opt.min_vms_per_tenant = spec_.topology.min_vms_per_tenant;
+    opt.max_vms_per_tenant = spec_.topology.max_vms_per_tenant;
+    opt.vms_per_switch = spec_.topology.vms_per_switch;
+    topology_ = topo::build_multi_tenant(opt, rng);
+    topology_built_ = true;
+  }
+  return true;
+}
+
+bool ScenarioRunner::validate_only(std::string* error) {
+  if (!prepare_topology(error)) return false;
+  return validate(error);
 }
 
 void ScenarioRunner::build_trace() {
@@ -276,35 +330,42 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
   obs::trace_instant(obs::TraceEventType::kScenarioEvent,
                      net_->simulator().now(),
                      static_cast<std::uint64_t>(ev.kind), applied ? 1 : 0);
+  if (check_invariants_) {
+    run_invariant_check(std::string("after ") + to_string(ev.kind) +
+                            " at " +
+                            format_duration(net_->simulator().now()),
+                        /*end_of_run=*/false);
+  }
+}
+
+void ScenarioRunner::run_invariant_check(const std::string& where,
+                                         bool end_of_run) {
+  constexpr std::size_t kMaxViolations = 64;
+  if (invariant_violations_.size() >= kMaxViolations) return;
+  core::InvariantOptions opts;
+  // Fast-mode sharded replay accumulates per-flow metrics in shard-local
+  // sinks merged only at end of replay, so mid-run counter identities do
+  // not hold there; the state invariants still do (scenario events commit
+  // at span fences).
+  if (!end_of_run && spec_.config.runtime.num_shards > 1 &&
+      spec_.config.runtime.mode == core::RuntimeMode::kFast) {
+    opts.metrics = false;
+  }
+  const core::InvariantReport report = core::check_invariants(*net_, opts);
+  for (const std::string& v : report.violations) {
+    if (invariant_violations_.size() >= kMaxViolations) {
+      invariant_violations_.push_back("further violations suppressed");
+      return;
+    }
+    invariant_violations_.push_back(where + ": " + v);
+  }
 }
 
 bool ScenarioRunner::run(std::string* error) {
   assert(!ran_ && "a ScenarioRunner runs exactly once");
   ran_ = true;
 
-  // Re-checked here because apply_override() can break it after a clean
-  // parse, and it must hold BEFORE build_multi_tenant: an inverted range
-  // would send the builder's uniform VM-count draw into a 2^64-sized
-  // span.
-  if (spec_.topology.min_vms_per_tenant > spec_.topology.max_vms_per_tenant) {
-    if (error) {
-      *error = "[topology] min_vms_per_tenant exceeds max_vms_per_tenant";
-    }
-    return false;
-  }
-
-  // Topology.
-  {
-    Rng rng = Rng::stream(spec_.seed, kTopologyStream);
-    topo::MultiTenantOptions opt;
-    opt.switch_count = spec_.topology.switches;
-    opt.tenant_count = spec_.topology.tenants;
-    opt.min_vms_per_tenant = spec_.topology.min_vms_per_tenant;
-    opt.max_vms_per_tenant = spec_.topology.max_vms_per_tenant;
-    opt.vms_per_switch = spec_.topology.vms_per_switch;
-    topology_ = topo::build_multi_tenant(opt, rng);
-  }
-
+  if (!prepare_topology(error)) return false;
   if (!validate(error)) return false;
   build_trace();
 
@@ -348,6 +409,18 @@ bool ScenarioRunner::run(std::string* error) {
   }
 
   net_->replay(*trace_);
+  if (check_invariants_) {
+    run_invariant_check("end of run", /*end_of_run=*/true);
+    // Trace-level conservation, only meaningful once the replay is done:
+    // every flow the (shaped) trace contains must have been injected and
+    // counted exactly once.
+    if (net_->metrics().flows_seen != trace_->flows.size()) {
+      invariant_violations_.push_back(
+          "end of run: trace conservation: flows_seen=" +
+          std::to_string(net_->metrics().flows_seen) +
+          " != trace flow count=" + std::to_string(trace_->flows.size()));
+    }
+  }
   return true;
 }
 

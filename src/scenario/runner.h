@@ -41,6 +41,26 @@ class ScenarioRunner {
   /// problems. One call per runner.
   bool run(std::string* error);
 
+  /// Builds the topology and validates the event script against it —
+  /// everything run() checks before generating a workload — without
+  /// replaying. Unlike run() it may be called repeatedly, and a later
+  /// run() on the same runner still works (the topology is built once).
+  bool validate_only(std::string* error);
+
+  /// Evaluates core::check_invariants() (core/invariants.h) after every
+  /// scheduled scenario event — at the simulator fence the event ran in —
+  /// and again at end of run, where the trace-level conservation check
+  /// (every generated flow was seen) is added. Must be called before
+  /// run(). Violations accumulate in invariant_violations(); run() still
+  /// returns true, the caller decides whether they fail the run. The
+  /// checker is read-only, so a checked run stays bit-identical to an
+  /// unchecked one.
+  void enable_invariant_checks() noexcept { check_invariants_ = true; }
+  [[nodiscard]] const std::vector<std::string>& invariant_violations()
+      const noexcept {
+    return invariant_violations_;
+  }
+
   /// How the event script fared at sim time.
   struct EventCounts {
     std::size_t scheduled = 0;  ///< events scheduled into the simulator
@@ -64,9 +84,14 @@ class ScenarioRunner {
   }
 
  private:
+  /// Range-checks the spec's VM bounds and builds the topology (once);
+  /// shared head of run() and validate_only().
+  bool prepare_topology(std::string* error);
   bool validate(std::string* error) const;
   void build_trace();
   void apply_event(const ScenarioEvent& ev);
+  /// Runs the invariant checker now, prefixing violations with `where`.
+  void run_invariant_check(const std::string& where, bool end_of_run);
   void schedule_migration_burst(const ScenarioEvent& ev,
                                 std::uint64_t stream_id);
   /// Per-tenant activity windows [from, to) implied by the event script
@@ -80,6 +105,9 @@ class ScenarioRunner {
   std::unique_ptr<core::Network> net_;
   EventCounts counts_;
   bool ran_ = false;
+  bool topology_built_ = false;
+  bool check_invariants_ = false;
+  std::vector<std::string> invariant_violations_;
 };
 
 }  // namespace lazyctrl::scenario

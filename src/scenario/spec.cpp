@@ -111,6 +111,10 @@ enum class Section {
 struct Parser {
   ScenarioSpec spec;
   std::vector<Diagnostic> errors;
+  /// Source line of each parsed event (parallel to spec.events), so the
+  /// cross-event checks after the line loop can still point at the
+  /// offending line.
+  std::vector<int> event_lines;
 
   void error(int line, std::string message) {
     errors.push_back({line, std::move(message)});
@@ -624,7 +628,10 @@ void parse_event_line(Parser& p, int line, const std::string& text) {
             std::string(to_string(ev.kind)) + " requires duration=<time>");
     ok = false;
   }
-  if (ok) p.spec.events.push_back(ev);
+  if (ok) {
+    p.spec.events.push_back(ev);
+    p.event_lines.push_back(line);
+  }
 }
 
 }  // namespace
@@ -634,6 +641,19 @@ const char* to_string(EventKind kind) noexcept {
     if (e.kind == kind) return e.name;
   }
   return "?";
+}
+
+std::optional<EventKind> paired_failure_kind(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRecoverSwitch:
+      return EventKind::kFailSwitch;
+    case EventKind::kRecoverPeerLink:
+      return EventKind::kFailPeerLink;
+    case EventKind::kRecoverControlLink:
+      return EventKind::kFailControlLink;
+    default:
+      return std::nullopt;
+  }
 }
 
 const char* to_string(WorkloadKind kind) noexcept {
@@ -768,6 +788,31 @@ ParseResult parse_scenario(const std::string& text) {
   if (p.spec.topology.min_vms_per_tenant >
       p.spec.topology.max_vms_per_tenant) {
     p.error(0, "[topology] min_vms_per_tenant exceeds max_vms_per_tenant");
+  }
+
+  // Cross-event validation: a recovery scheduled before every failure of
+  // its component is a script bug — it fires as a no-op and the later
+  // failure stands unrecovered. A recovery with no matching failure
+  // anywhere in the script stays legal (a runtime no-op skip), so
+  // scripts can recover pre-failed fixtures.
+  for (std::size_t i = 0; i < p.spec.events.size(); ++i) {
+    const ScenarioEvent& ev = p.spec.events[i];
+    const std::optional<EventKind> fail_kind = paired_failure_kind(ev.kind);
+    if (!fail_kind) continue;
+    std::optional<SimTime> earliest;
+    for (const ScenarioEvent& other : p.spec.events) {
+      if (other.kind == *fail_kind && other.sw == ev.sw &&
+          (!earliest || other.at < *earliest)) {
+        earliest = other.at;
+      }
+    }
+    if (earliest && ev.at < *earliest) {
+      p.error(p.event_lines[i],
+              std::string(to_string(ev.kind)) + " sw=" +
+                  std::to_string(ev.sw) + " at " + format_duration(ev.at) +
+                  " fires before its " + to_string(*fail_kind) + " at " +
+                  format_duration(*earliest));
+    }
   }
 
   ParseResult result;

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,13 @@ enum class EventKind : std::uint8_t {
 
 /// Canonical spelling of an event primitive (the `.scn` keyword).
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// The failure kind a recovery event undoes (kRecoverSwitch ->
+/// kFailSwitch, ...), or std::nullopt for non-recovery kinds. Shared by
+/// the parser, the runner's validator and the fuzzer so "recovery
+/// scheduled before its failure" means the same thing everywhere.
+[[nodiscard]] std::optional<EventKind> paired_failure_kind(
+    EventKind kind) noexcept;
 
 /// One line of the `[events]` section. Only the fields relevant to
 /// `kind` are meaningful; the rest keep their defaults (which is what

@@ -13,18 +13,12 @@ namespace {
 constexpr std::string_view kHeader =
     "src_host,dst_host,start_ns,packets,avg_packet_bytes";
 
-/// Parses one unsigned integer field up to the next comma (or end).
+/// Parses one integer field; false on any non-numeric/overflow content.
 template <typename T>
-bool parse_field(std::string_view& line, T& out) {
-  const std::size_t comma = line.find(',');
-  const std::string_view field =
-      comma == std::string_view::npos ? line : line.substr(0, comma);
+bool parse_int(std::string_view field, T& out) {
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), out);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) return false;
-  line = comma == std::string_view::npos ? std::string_view{}
-                                         : line.substr(comma + 1);
-  return true;
+  return ec == std::errc{} && ptr == field.data() + field.size();
 }
 
 }  // namespace
@@ -63,24 +57,72 @@ std::optional<Trace> load_trace_csv(std::istream& in,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+
+    // Split the record first so every diagnostic can name the offending
+    // field and value, matching the `.scn` parser's "line N: <what>
+    // expects ..., got '...'" style.
+    constexpr const char* kFields[] = {"src_host", "dst_host", "start_ns",
+                                       "packets", "avg_packet_bytes"};
+    std::string_view fields[5];
     std::string_view rest{line};
+    std::size_t count = 0;
+    while (true) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view field =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      if (count < 5) fields[count] = field;
+      ++count;
+      if (comma == std::string_view::npos) break;
+      rest = rest.substr(comma + 1);
+    }
+    if (count != 5) {
+      return fail(line_no, "expected 5 comma-separated fields, got " +
+                               std::to_string(count));
+    }
+    const auto bad = [&](std::size_t i, const char* what) {
+      return fail(line_no, std::string(kFields[i]) + " " + what + ", got '" +
+                               std::string(fields[i]) + "'");
+    };
+
     Flow f;
     std::uint32_t src = 0, dst = 0;
+    if (!parse_int(fields[0], src)) {
+      return bad(0, "expects a non-negative host index");
+    }
+    if (!parse_int(fields[1], dst)) {
+      return bad(1, "expects a non-negative host index");
+    }
+    // start_ns parses as signed so a negative start is reported as such
+    // instead of as a generic malformed record (or, worse, accepted: the
+    // field used to be read into int64 without a sign check).
     std::int64_t start = 0;
-    if (!parse_field(rest, src) || !parse_field(rest, dst) ||
-        !parse_field(rest, start) || !parse_field(rest, f.packets) ||
-        !parse_field(rest, f.avg_packet_bytes) || !rest.empty()) {
-      return fail(line_no, "malformed flow record");
+    if (!parse_int(fields[2], start)) return bad(2, "expects an integer");
+    if (start < 0) return bad(2, "must be non-negative");
+    std::int64_t packets = 0;
+    if (!parse_int(fields[3], packets)) return bad(3, "expects an integer");
+    if (packets <= 0) return bad(3, "must be positive");
+    if (!parse_int(fields[4], f.avg_packet_bytes)) {
+      return bad(4, "expects a non-negative byte count");
     }
     if (src == dst) return fail(line_no, "flow with identical endpoints");
-    if (f.packets == 0) return fail(line_no, "flow with zero packets");
+    if (min_horizon > 0 && start >= min_horizon) {
+      return fail(line_no,
+                  "start_ns " + std::to_string(start) +
+                      " is at or beyond the declared horizon of " +
+                      std::to_string(min_horizon) + " ns");
+    }
     f.src = HostId{src};
     f.dst = HostId{dst};
     f.start = start;
+    f.packets = static_cast<decltype(f.packets)>(packets);
     max_start = std::max(max_start, f.start);
     trace.flows.push_back(f);
   }
-  trace.horizon = std::max<SimDuration>(min_horizon, max_start + kSecond);
+  // Explicit horizon rule: a declared horizon wins exactly (flows beyond
+  // it were rejected above, so nothing is silently clamped); without one
+  // the horizon derives from the data.
+  trace.horizon =
+      min_horizon > 0 ? min_horizon : max_start + kSecond;
   finalize_trace(trace);
   return trace;
 }

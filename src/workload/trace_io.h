@@ -20,10 +20,17 @@ namespace lazyctrl::workload {
 bool save_trace_csv(const Trace& trace, std::ostream& out);
 bool save_trace_csv(const Trace& trace, const std::string& path);
 
-/// Parses a CSV trace. Returns std::nullopt on malformed input (the error
-/// line is reported via the optional `error` out-param). Flows are
-/// re-finalized (sorted, dense ids); the horizon is max(start)+1s unless a
-/// larger `min_horizon` is given.
+/// Parses a CSV trace. Returns std::nullopt on malformed input; every
+/// diagnostic is reported through the optional `error` out-param as
+/// "line N: <field> ..." in the `.scn` parser's style (malformed,
+/// negative or zero fields name the offending field and value). Flows
+/// are re-finalized (sorted, dense ids).
+///
+/// Horizon: when `min_horizon` > 0 it is the DECLARED horizon — the
+/// loaded trace gets exactly that horizon, and a flow whose start_ns
+/// lies at or beyond it is a line-numbered error (it can no longer
+/// silently stretch the horizon through the re-finalize path). With the
+/// default 0, the horizon is derived from the data as max(start) + 1s.
 std::optional<Trace> load_trace_csv(std::istream& in,
                                     SimDuration min_horizon = 0,
                                     std::string* error = nullptr);

@@ -473,5 +473,73 @@ TEST(ScenarioRunnerTest, RejectsEventsBeyondHorizon) {
   EXPECT_NE(error.find("horizon"), std::string::npos) << error;
 }
 
+// ------------------------------------------------------ boundary cases
+
+TEST(ScenarioRunnerTest, EventAtTimeZeroApplies) {
+  ScenarioSpec spec = runner_spec();
+  spec.events.clear();
+  spec.events.push_back({.at = 0, .kind = EventKind::kForceRegroup});
+  const auto runner = run_spec(spec);
+  EXPECT_EQ(runner->event_counts().scheduled, 1u);
+  EXPECT_EQ(runner->event_counts().applied + runner->event_counts().skipped,
+            1u);
+}
+
+TEST(ScenarioRunnerTest, EventExactlyAtHorizonFires) {
+  // run_until(deadline) processes events with time <= deadline, so an
+  // event at exactly the horizon is both valid and applied.
+  ScenarioSpec spec = runner_spec();
+  spec.events.clear();
+  spec.events.push_back({.at = spec.workload.horizon,
+                         .kind = EventKind::kTenantDeparture,
+                         .tenant = 3});
+  const auto runner = run_spec(spec);
+  EXPECT_EQ(runner->event_counts().scheduled, 1u);
+  EXPECT_EQ(runner->event_counts().applied, 1u);
+}
+
+TEST(ScenarioSpecTest, RecoveryBeforeItsFailureIsLineNumberedError) {
+  const std::string text =
+      "[config]\n"                        // 1
+      "failover = true\n"                 // 2
+      "[events]\n"                        // 3
+      "at=2m recover_switch sw=4\n"       // 4: fires before the failure
+      "at=5m fail_switch sw=4\n";         // 5
+  const ParseResult r = parse_scenario(text);
+  ASSERT_EQ(r.errors.size(), 1u) << r.error_text();
+  EXPECT_EQ(r.errors[0].line, 4);
+  EXPECT_NE(r.errors[0].message.find("fires before its fail_switch"),
+            std::string::npos)
+      << r.errors[0].message;
+}
+
+TEST(ScenarioRunnerTest, RejectsRecoveryScheduledBeforeItsFailure) {
+  ScenarioSpec spec = runner_spec();
+  spec.events.clear();
+  spec.events.push_back(
+      {.at = 2 * kMinute, .kind = EventKind::kRecoverSwitch, .sw = 4});
+  spec.events.push_back(
+      {.at = 5 * kMinute, .kind = EventKind::kFailSwitch, .sw = 4});
+  ScenarioRunner runner(spec);
+  std::string error;
+  EXPECT_FALSE(runner.run(&error));
+  EXPECT_NE(error.find("fires before its fail_switch"), std::string::npos)
+      << error;
+}
+
+TEST(ScenarioRunnerTest, RejectsDuplicateTenantDeparture) {
+  ScenarioSpec spec = runner_spec();
+  spec.events.clear();
+  spec.events.push_back(
+      {.at = 5 * kMinute, .kind = EventKind::kTenantDeparture, .tenant = 2});
+  spec.events.push_back(
+      {.at = 9 * kMinute, .kind = EventKind::kTenantDeparture, .tenant = 2});
+  ScenarioRunner runner(spec);
+  std::string error;
+  EXPECT_FALSE(runner.run(&error));
+  EXPECT_NE(error.find("already has a tenant_departure"), std::string::npos)
+      << error;
+}
+
 }  // namespace
 }  // namespace lazyctrl::scenario
