@@ -1,6 +1,6 @@
 // Observability overhead benchmark: what does tracing cost the datapath?
 //
-// Three replay legs per repetition on one identical workload (same fixture
+// Four replay legs per repetition on one identical workload (same fixture
 // as bench_micro_datapath's batched leg), interleaved so drift hits all
 // legs equally:
 //
@@ -8,7 +8,11 @@
 //                     instrumentation site;
 //   2. tracing on   — ring recording live (64Ki-event ring);
 //   3. tracing off  — A/A control: the off/off spread is the noise floor
-//                     any off/on delta must be read against.
+//                     any off/on delta must be read against;
+//   4. sampling on  — per-flow latency attribution live (stage histograms
+//                     every flow + 1-in-64 flight-recorder ring), tracing
+//                     off, so the two instrumentation layers are priced
+//                     separately.
 //
 // The acceptance bar from the telemetry PR is that leg 1 costs <= 1% vs
 // the pre-PR build; since the disabled path IS the default path, that is
@@ -24,6 +28,7 @@
 #include "common/rng.h"
 #include "core/network.h"
 #include "harness.h"
+#include "obs/flow_latency.h"
 #include "obs/trace.h"
 #include "workload/intensity.h"
 
@@ -125,6 +130,11 @@ int body(benchx::BenchReport& report) {
 
   const double off2 = run_leg(setup);
 
+  obs::flow_recorder().enable(/*sample_every_n=*/64);
+  const double sampling = run_leg(setup);
+  const std::size_t flow_records = obs::flow_recorder().size();
+  obs::flow_recorder().disable();
+
   // Overheads vs the faster off leg; the off/off spread is the noise
   // floor. Clamped at 0 — a negative "overhead" is just noise.
   const double off_best = std::max(off1, off2);
@@ -132,6 +142,8 @@ int body(benchx::BenchReport& report) {
       std::max(0.0, (1.0 - on / off_best) * 100.0);
   const double off_spread_pct =
       std::max(0.0, (1.0 - std::min(off1, off2) / off_best) * 100.0);
+  const double sampling_overhead_pct =
+      std::max(0.0, (1.0 - sampling / off_best) * 100.0);
 
   std::printf("replay throughput (%zu flows, %zu switches):\n",
               setup.trace.flow_count(), setup.topo.switch_count());
@@ -140,10 +152,13 @@ int body(benchx::BenchReport& report) {
               "tracing on", on, events,
               static_cast<unsigned long long>(dropped));
   std::printf("  %-26s %12.0f flows/s\n", "tracing off (leg 2)", off2);
-  std::printf("  enabled overhead %.2f%% | off/off noise floor %.2f%% | "
-              "ring %.1f KiB | RSS delta %.0f KiB\n",
-              on_overhead_pct, off_spread_pct, ring_bytes / 1024.0,
-              (rss_after - rss_before) / 1024.0);
+  std::printf("  %-26s %12.0f flows/s   (%zu flow records)\n",
+              "flow sampling on (1/64)", sampling, flow_records);
+  std::printf("  tracing overhead %.2f%% | sampling overhead %.2f%% | "
+              "off/off noise floor %.2f%% | ring %.1f KiB | RSS delta "
+              "%.0f KiB\n",
+              on_overhead_pct, sampling_overhead_pct, off_spread_pct,
+              ring_bytes / 1024.0, (rss_after - rss_before) / 1024.0);
 
   report.throughput("replay_flows_per_sec_tracing_off",
                     std::min(off1, off2));
@@ -158,6 +173,10 @@ int body(benchx::BenchReport& report) {
                 "events");
   report.metric("trace_events_dropped", static_cast<double>(dropped),
                 "events");
+  report.throughput("replay_flows_per_sec_sampling_on", sampling);
+  report.metric("sampling_on_overhead_pct", sampling_overhead_pct, "pct");
+  report.metric("flow_records_recorded", static_cast<double>(flow_records),
+                "records");
   return 0;
 }
 
@@ -169,10 +188,10 @@ int main() {
   opts.warmup = 1;
   return benchx::run_benchmark(
       "obs_overhead",
-      "Observability overhead — tracing disabled vs enabled",
-      "interleaved off/on/off replay legs on the micro_datapath workload; "
-      "the off/off spread is the noise floor for reading the on-leg "
-      "delta. The telemetry PR's <= 1% disabled-path bar is checked by "
-      "diffing BENCH_micro_datapath.json across the PR",
+      "Observability overhead — tracing / flow sampling disabled vs enabled",
+      "interleaved off/on/off/sampling replay legs on the micro_datapath "
+      "workload; the off/off spread is the noise floor for reading the "
+      "enabled-leg deltas. The telemetry PR's <= 1% disabled-path bar is "
+      "checked by diffing BENCH_micro_datapath.json across the PR",
       opts, body);
 }

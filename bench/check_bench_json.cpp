@@ -37,6 +37,7 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
       {"obs_overhead",
        {"replay_flows_per_sec_tracing_off", "replay_flows_per_sec_tracing_on",
         "tracing_on_overhead_pct", "tracing_off_overhead_pct",
+        "replay_flows_per_sec_sampling_on", "sampling_on_overhead_pct",
         "rss_delta_bytes", "trace_events_recorded"}},
   };
   return kRequired;
@@ -48,7 +49,7 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
 const std::vector<std::string>& scenario_required_metrics() {
   static const std::vector<std::string> kRequired = {
       "flows_total", "controller_packet_ins", "events_applied",
-      "deterministic_rerun_identical"};
+      "deterministic_rerun_identical", "latency_e2e_p99_ns"};
   return kRequired;
 }
 

@@ -6,11 +6,43 @@
 
 #include "common/log.h"
 #include "net/packet.h"
+#include "obs/flow_latency.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "runtime/sharded_runtime.h"
 
 namespace lazyctrl::core {
+
+namespace {
+
+// Latency-attribution emission (obs/flow_latency.h): decomposes an
+// analytically priced first-packet latency into the stage slices. The
+// edge stage is the ingress leg every path shares (host link + switch
+// pipeline); controller-path flows add the round-trip breakdown; the
+// remainder up to e2e is delivery (datapath + egress), derived by the
+// reader rather than stored. Callers gate on flow_attribution_enabled()
+// AND on being coordinator-side (defer == nullptr at decision sites).
+void record_flow_attribution(
+    const workload::Flow& flow, SwitchId src_sw, SwitchId dst_sw,
+    obs::FlowPathKind path, const LatencyModel& lat, SimDuration e2e,
+    const Network::ControllerTripBreakdown* trip = nullptr) {
+  obs::FlowRecord rec;
+  rec.flow_id = flow.id;
+  rec.start = flow.start;
+  rec.src_sw = src_sw.value();
+  rec.dst_sw = dst_sw.value();
+  rec.path = path;
+  rec.stages.edge = lat.host_link + lat.switch_processing;
+  if (trip != nullptr) {
+    rec.stages.punt_rtt = trip->uplink + trip->service;
+    rec.stages.ctrl_queue = trip->queue;
+    rec.stages.install = trip->downlink;
+  }
+  rec.stages.e2e = e2e;
+  obs::flow_recorder().record(rec);
+}
+
+}  // namespace
 
 Network::Network(topo::Topology topology, Config config)
     : topology_(std::move(topology)),
@@ -318,7 +350,8 @@ FailureWheel* Network::wheel_of(SwitchId sw) {
   return wheels_[g.value()].get();
 }
 
-SimDuration Network::controller_round_trip(SimTime now, SwitchId via) {
+SimDuration Network::controller_round_trip(SimTime now, SwitchId via,
+                                           ControllerTripBreakdown* breakdown) {
   // Control-link detour (§III-E2): a switch whose control link failed
   // reaches the controller through its upstream ring neighbour, adding a
   // peer-link hop each way.
@@ -339,6 +372,12 @@ SimDuration Network::controller_round_trip(SimTime now, SwitchId via) {
                             config_.latency.controller_service);
   const SimTime done = start + config_.latency.controller_service;
   metrics_->controller_queue_delay_ms.add(to_milliseconds(start - arrival));
+  if (breakdown != nullptr) {
+    breakdown->uplink = detour + config_.latency.control_link;
+    breakdown->queue = start - arrival;
+    breakdown->service = config_.latency.controller_service;
+    breakdown->downlink = config_.latency.control_link + detour;
+  }
   return (done + config_.latency.control_link + detour) - now;
 }
 
@@ -540,6 +579,14 @@ void Network::process_openflow_decision(const workload::Flow& flow,
   if (d.kind == EdgeSwitch::DecisionKind::kFlowTableHit) {
     ++m.flows_flow_table_hit;
     account_flow_latency(flow, steady, steady, m);
+    // Attribution only coordinator-side (defer == nullptr): a fast-mode
+    // worker's shard-local hit flows are not attributed, mirroring the
+    // TraceRecorder coordinator-only threading contract.
+    if (obs::flow_attribution_enabled() && defer == nullptr) {
+      record_flow_attribution(flow, src_sw, dst_sw,
+                              obs::FlowPathKind::kFlowTableHit,
+                              config_.latency, steady);
+    }
     return;
   }
   // Every miss is a PacketIn; the controller resolves via C-LIB and
@@ -566,6 +613,11 @@ bool Network::handle_transition_flow(const workload::Flow& flow,
     // Preloaded temporary rule absorbs the transition.
     ++m.flows_flow_table_hit;
     account_flow_latency(flow, steady, steady, m);
+    if (obs::flow_attribution_enabled() && defer == nullptr) {
+      record_flow_attribution(flow, src_sw, dst_sw,
+                              obs::FlowPathKind::kFlowTableHit,
+                              config_.latency, steady);
+    }
     return true;
   }
   if (defer != nullptr &&
@@ -617,15 +669,26 @@ void Network::process_lazyctrl_decision(const workload::Flow& flow,
     return;
   }
 
+  const bool attr = obs::flow_attribution_enabled() && defer == nullptr;
   switch (d.kind) {
     case EdgeSwitch::DecisionKind::kFlowTableHit: {
       ++m.flows_flow_table_hit;
       account_flow_latency(flow, steady, steady, m);
+      if (attr) {
+        record_flow_attribution(flow, src_sw, dst_sw,
+                                obs::FlowPathKind::kFlowTableHit,
+                                config_.latency, steady);
+      }
       return;
     }
     case EdgeSwitch::DecisionKind::kLocalDeliver: {
       ++m.flows_local_delivery;
       account_flow_latency(flow, paths.local, paths.local, m);
+      if (attr) {
+        record_flow_attribution(flow, src_sw, dst_sw,
+                                obs::FlowPathKind::kLocalDeliver,
+                                config_.latency, paths.local);
+      }
       return;
     }
     case EdgeSwitch::DecisionKind::kIntraGroup: {
@@ -639,6 +702,11 @@ void Network::process_lazyctrl_decision(const workload::Flow& flow,
         m.bf_false_positive_copies += extras * flow.packets;
         m.bf_misforward_drops += extras * flow.packets;
         account_flow_latency(flow, paths.cross, paths.cross, m);
+        if (attr) {
+          record_flow_attribution(flow, src_sw, dst_sw,
+                                  obs::FlowPathKind::kIntraGroup,
+                                  config_.latency, paths.cross);
+        }
         return;
       }
       // Pure false positive: the destination is outside the group but some
@@ -683,41 +751,63 @@ void Network::finish_controller_flow(const workload::Flow& flow,
   const SimDuration steady = paths.steady(src_sw, dst_sw);
   EdgeSwitch& sw = *switches_[src_sw.value()];
 
+  // finish_controller_flow is always coordinator-side (it touches shared
+  // controller state), so attribution needs no defer gate here.
+  const bool attr = obs::flow_attribution_enabled();
+  ControllerTripBreakdown bd;
+  ControllerTripBreakdown* bdp = attr ? &bd : nullptr;
+  SimDuration e2e = 0;
+  obs::FlowPathKind path = obs::FlowPathKind::kOpenFlowMiss;
+
   switch (reason) {
     case ControllerPathReason::kOpenFlowMiss: {
       const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw);
+          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/true, now);
       account_flow_latency(flow, steady + ctrl, steady, m);
-      return;
+      e2e = steady + ctrl;
+      path = obs::FlowPathKind::kOpenFlowMiss;
+      break;
     }
     case ControllerPathReason::kTransitionPunt: {
       ++m.transition_punts;
       const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw);
+          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       account_flow_latency(flow, steady + ctrl, steady, m);
-      return;
+      e2e = steady + ctrl;
+      path = obs::FlowPathKind::kTransitionPunt;
+      break;
     }
     case ControllerPathReason::kExcludedHosts:
     case ControllerPathReason::kInterGroupPunt: {
       const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw);
+          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++m.flows_inter_group;
       m.inter_group_arrivals.add_event(now);
       account_flow_latency(flow, steady + ctrl, steady, m);
-      return;
+      e2e = steady + ctrl;
+      path = reason == ControllerPathReason::kExcludedHosts
+                 ? obs::FlowPathKind::kExcludedHosts
+                 : obs::FlowPathKind::kInterGroupPunt;
+      break;
     }
     case ControllerPathReason::kPureFalsePositive: {
       const SimDuration report_at = paths.cross;  // copy reached wrong peer
-      const SimDuration ctrl = controller_round_trip(now + report_at);
+      const SimDuration ctrl =
+          controller_round_trip(now + report_at, SwitchId::invalid(), bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++m.flows_inter_group;
       m.inter_group_arrivals.add_event(now);
       account_flow_latency(flow, report_at + ctrl + lat.datapath, steady, m);
-      return;
+      e2e = report_at + ctrl + lat.datapath;
+      path = obs::FlowPathKind::kPureFalsePositive;
+      break;
     }
+  }
+  if (attr) {
+    record_flow_attribution(flow, src_sw, dst_sw, path, lat, e2e, &bd);
   }
 }
 
@@ -1291,6 +1381,35 @@ void Network::register_stats(obs::Registry& r) {
           phase(obs::TraceEventType::kReplaySpan));
   r.gauge("phase.barrier_wait_wall_ms",
           phase(obs::TraceEventType::kShardBarrierWait));
+
+  // Observability health: ring overflow in either recorder means the
+  // exported trace / flight-recorder window is incomplete.
+  r.gauge("obs.trace_dropped", [] {
+    return static_cast<double>(obs::recorder().dropped());
+  });
+  r.gauge("obs.flow_records_dropped", [] {
+    return static_cast<double>(obs::flow_recorder().dropped());
+  });
+
+  // Per-flow latency attribution (zero / empty when attribution was off
+  // for the run). Quantiles read the whole-run stage histograms.
+  r.gauge("latency.samples", [] {
+    return static_cast<double>(
+        obs::flow_recorder()
+            .stage_histogram(obs::FlowStage::kE2e)
+            .count());
+  });
+  for (std::size_t i = 0; i < obs::kNumFlowStages; ++i) {
+    const auto stage = static_cast<obs::FlowStage>(i);
+    const std::string base = obs::flow_stage_metric(stage);
+    for (const auto& [suffix, p] :
+         {std::pair{".p50", 0.50}, {".p90", 0.90}, {".p99", 0.99},
+          {".p999", 0.999}}) {
+      r.gauge(base + suffix, [stage, p = p] {
+        return obs::flow_recorder().stage_histogram(stage).quantile(p);
+      });
+    }
+  }
 }
 
 }  // namespace lazyctrl::core

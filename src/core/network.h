@@ -119,6 +119,20 @@ class Network : private dgm::GroupingHost {
   /// Total G-FIB storage across all switches, in bytes.
   [[nodiscard]] std::size_t total_gfib_bytes() const;
 
+  /// Stage decomposition of one controller round trip, filled by
+  /// controller_round_trip() for latency attribution (obs/flow_latency.h):
+  /// uplink = PacketIn transit to the controller (incl. any failover
+  /// detour), queue = wait from arrival to service start (outage backlog
+  /// lives here), service = controller processing, downlink = FlowMod/
+  /// PacketOut leg back. uplink + queue + service + downlink equals the
+  /// round trip's return value exactly.
+  struct ControllerTripBreakdown {
+    SimDuration uplink = 0;
+    SimDuration queue = 0;
+    SimDuration service = 0;
+    SimDuration downlink = 0;
+  };
+
   // --- observability (src/obs) ---
   /// Registers every observable of this network into `registry` under the
   /// naming scheme of docs/OBSERVABILITY.md: all RunMetrics fields
@@ -343,8 +357,12 @@ class Network : private dgm::GroupingHost {
   /// PacketIn round trip from `via` (invalid = generic path). When the
   /// failure wheel has detoured `via`'s control link through its upstream
   /// ring neighbour (§III-E2), both directions pay an extra peer-link hop.
+  /// A non-null `breakdown` receives the stage decomposition (latency
+  /// attribution); passing nullptr costs nothing.
   SimDuration controller_round_trip(SimTime now,
-                                    SwitchId via = SwitchId::invalid());
+                                    SwitchId via = SwitchId::invalid(),
+                                    ControllerTripBreakdown* breakdown =
+                                        nullptr);
 
   /// Installs the coarse inter-group rule (LazyCtrl) or the exact-match
   /// rule (OpenFlow) for a resolved flow.

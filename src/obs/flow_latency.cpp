@@ -1,0 +1,207 @@
+#include "obs/flow_latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace lazyctrl::obs {
+
+namespace {
+
+constexpr const char* kStageNames[kNumFlowStages] = {
+    "edge", "punt_rtt", "ctrl_queue", "install", "e2e"};
+constexpr const char* kStageMetrics[kNumFlowStages] = {
+    "latency.edge_ns", "latency.punt_rtt_ns", "latency.ctrl_queue_ns",
+    "latency.install_ns", "latency.e2e_ns"};
+constexpr const char* kPathNames[static_cast<std::size_t>(
+    FlowPathKind::kNumKinds)] = {
+    "flow_table_hit",  "local_deliver",  "intra_group",
+    "openflow_miss",   "transition_punt", "excluded_hosts",
+    "pure_false_positive", "inter_group_punt"};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+const char* flow_stage_name(FlowStage s) noexcept {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kNumFlowStages ? kStageNames[i] : "?";
+}
+
+const char* flow_stage_metric(FlowStage s) noexcept {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kNumFlowStages ? kStageMetrics[i] : "?";
+}
+
+const char* flow_path_name(FlowPathKind k) noexcept {
+  const auto i = static_cast<std::size_t>(k);
+  return i < static_cast<std::size_t>(FlowPathKind::kNumKinds) ? kPathNames[i]
+                                                               : "?";
+}
+
+void FlowLatencyRecorder::enable(std::uint32_t sample_every_n,
+                                 std::size_t ring_capacity) {
+  sample_n_ = sample_every_n;
+  ring_.assign(sample_every_n == 0 ? 0
+                                   : std::max<std::size_t>(ring_capacity, 16),
+               FlowRecord{});
+  start_ = count_ = 0;
+  dropped_ = 0;
+  for (auto& h : totals_) h.reset();
+  phases_.clear();
+  phases_.reserve(kMaxPhases);
+  phases_.push_back(Phase{});
+  phases_.back().label = "start";
+  detail::g_flow_attr_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlowLatencyRecorder::disable() {
+  detail::g_flow_attr_enabled.store(false, std::memory_order_relaxed);
+}
+
+void FlowLatencyRecorder::clear() {
+  start_ = count_ = 0;
+  dropped_ = 0;
+  for (auto& h : totals_) h.reset();
+  phases_.clear();
+  phases_.push_back(Phase{});
+  phases_.back().label = "start";
+}
+
+void FlowLatencyRecorder::record(const FlowRecord& rec) {
+  if (phases_.empty()) return;  // enabled flag set without enable(): drop
+  Phase& phase = phases_.back();
+  for (std::size_t i = 0; i < kNumFlowStages; ++i) {
+    const auto s = static_cast<FlowStage>(i);
+    const auto v = static_cast<std::uint64_t>(
+        std::max<SimDuration>(rec.stages.stage(s), 0));
+    totals_[i].record(v);
+    phase.stages[i].record(v);
+  }
+  if (!is_sampled(rec.flow_id) || ring_.empty()) return;
+  if (count_ < ring_.size()) {
+    ring_[(start_ + count_) % ring_.size()] = rec;
+    ++count_;
+  } else {
+    ring_[start_] = rec;
+    start_ = (start_ + 1) % ring_.size();
+    ++dropped_;
+  }
+}
+
+void FlowLatencyRecorder::begin_phase(const char* label, SimTime at) {
+  if (phases_.empty()) return;
+  // Folding past the cap keeps a runaway script from growing memory;
+  // kMaxPhases windows is already beyond what any report prints.
+  if (phases_.size() >= kMaxPhases) return;
+  phases_.back().to = at;
+  phases_.push_back(Phase{});
+  phases_.back().label = label;
+  phases_.back().from = at;
+}
+
+const FlowRecord& FlowLatencyRecorder::record_at(std::size_t i) const {
+  assert(i < count_);
+  return ring_[(start_ + i) % ring_.size()];
+}
+
+std::string FlowLatencyRecorder::export_chrome_flow_spans() const {
+  // The waterfall order on the timeline: each stage's span starts where
+  // the previous one ended (edge -> punt_rtt -> ctrl_queue -> install),
+  // with e2e as the enclosing span on its own track. Zero-duration
+  // stages are skipped (hit-path flows have no controller stages) except
+  // edge and e2e, which exist for every flow.
+  std::string out;
+  if (count_ == 0) return out;
+  out.reserve(count_ * 3 * 96 + 512);
+  const auto meta = [&out](int tid, const char* which, const char* name) {
+    out += "    {\"ph\": \"M\", \"pid\": 3, \"tid\": ";
+    append_u64(out, static_cast<std::uint64_t>(tid));
+    out += ", \"name\": \"";
+    out += which;
+    out += "\", \"args\": {\"name\": \"";
+    out += name;
+    out += "\"}},\n";
+  };
+  meta(0, "process_name", "flow-latency");
+  for (std::size_t i = 0; i < kNumFlowStages; ++i) {
+    meta(static_cast<int>(i) + 1, "thread_name", kStageNames[i]);
+  }
+
+  // One pass per stage (5 * size()), emitting each track already sorted
+  // by start time — records enter the ring in flow-finish order, but a
+  // span's start also shifts by the cumulative prior stages, so sort
+  // explicitly.
+  struct Span {
+    SimTime ts;
+    SimDuration dur;
+    std::uint64_t flow_id;
+    FlowPathKind path;
+  };
+  std::vector<Span> spans;
+  spans.reserve(count_);
+  for (std::size_t st = 0; st < kNumFlowStages; ++st) {
+    const auto stage = static_cast<FlowStage>(st);
+    spans.clear();
+    for (std::size_t i = 0; i < count_; ++i) {
+      const FlowRecord& rec = record_at(i);
+      const SimDuration dur = rec.stages.stage(stage);
+      if (dur <= 0 && stage != FlowStage::kEdge && stage != FlowStage::kE2e) {
+        continue;
+      }
+      SimTime ts = rec.start;
+      if (stage != FlowStage::kE2e) {
+        for (std::size_t prior = 0; prior < st; ++prior) {
+          ts += rec.stages.stage(static_cast<FlowStage>(prior));
+        }
+      }
+      spans.push_back(Span{ts, std::max<SimDuration>(dur, 0), rec.flow_id,
+                           rec.path});
+    }
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const Span& x, const Span& y) { return x.ts < y.ts; });
+    for (const Span& sp : spans) {
+      out += "    {\"name\": \"";
+      out += kStageNames[st];
+      out += "\", \"cat\": \"flowlat\", \"ph\": \"X\", \"ts\": ";
+      append_us(out, sp.ts);
+      out += ", \"dur\": ";
+      append_us(out, sp.dur);
+      out += ", \"pid\": 3, \"tid\": ";
+      append_u64(out, static_cast<std::uint64_t>(st + 1));
+      out += ", \"args\": {\"flow\": ";
+      append_u64(out, sp.flow_id);
+      out += ", \"path\": \"";
+      out += flow_path_name(sp.path);
+      out += "\"}},\n";
+    }
+  }
+  return out;
+}
+
+FlowLatencyRecorder& flow_recorder() {
+  static FlowLatencyRecorder r;
+  return r;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return recorder().write_chrome_json(path,
+                                      flow_recorder().export_chrome_flow_spans());
+}
+
+}  // namespace lazyctrl::obs

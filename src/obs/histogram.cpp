@@ -1,0 +1,84 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lazyctrl::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+double LogHistogram::quantile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(p * static_cast<double>(count_))),
+      1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      const double lower = static_cast<double>(bucket_lower_bound(i));
+      const double width = static_cast<double>(bucket_width(i));
+      const double mid = width <= 1.0 ? lower : lower + width / 2.0;
+      return std::clamp(mid, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable: counts sum to count_
+}
+
+std::string LogHistogram::to_json() const {
+  std::string out = "{\"count\": ";
+  append_u64(out, count_);
+  out += ", \"sum\": ";
+  append_u64(out, sum_);
+  out += ", \"min\": ";
+  append_u64(out, min());
+  out += ", \"max\": ";
+  append_u64(out, max_);
+  for (const auto& [name, p] :
+       {std::pair{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99},
+        {"p999", 0.999}}) {
+    out += ", \"";
+    out += name;
+    out += "\": ";
+    append_double(out, quantile(p));
+  }
+  out += ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '[';
+    append_u64(out, bucket_lower_bound(i));
+    out += ", ";
+    append_u64(out, buckets_[i]);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lazyctrl::obs

@@ -155,7 +155,8 @@ TraceRecorder::PhaseTotal TraceRecorder::phase_total(TraceEventType t) const {
   return i < kNumTypes ? phases_[i] : PhaseTotal{};
 }
 
-std::string TraceRecorder::export_chrome_json() const {
+std::string TraceRecorder::export_chrome_json(
+    const std::string& extra_events) const {
   // Copy out, oldest first, then sort by displayed timestamp so every
   // (pid, tid) track is monotone in file order — nested ScopedTimer
   // spans complete (and are pushed) inner-before-outer, which would
@@ -244,6 +245,7 @@ std::string TraceRecorder::export_chrome_json() const {
     }
     out += "}},\n";
   }
+  out += extra_events;
   // Every entry (metadata included) ends ",\n"; strip the last comma.
   if (out.size() >= 2 && out[out.size() - 2] == ',') {
     out.erase(out.size() - 2, 1);
@@ -252,10 +254,11 @@ std::string TraceRecorder::export_chrome_json() const {
   return out;
 }
 
-bool TraceRecorder::write_chrome_json(const std::string& path) const {
+bool TraceRecorder::write_chrome_json(const std::string& path,
+                                      const std::string& extra_events) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = export_chrome_json();
+  const std::string json = export_chrome_json(extra_events);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }

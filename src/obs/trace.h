@@ -110,9 +110,16 @@ class TraceRecorder {
 
   /// Chrome trace_event JSON (the {"traceEvents": [...]} flavor), events
   /// sorted by timestamp so every (pid, tid) track is monotone.
-  [[nodiscard]] std::string export_chrome_json() const;
-  /// Writes export_chrome_json() to `path`; false on I/O failure.
-  bool write_chrome_json(const std::string& path) const;
+  /// `extra_events` is spliced in verbatim before the closing bracket —
+  /// pre-rendered ",\n"-terminated event lines from another recorder
+  /// (e.g. FlowLatencyRecorder::export_chrome_flow_spans) that should
+  /// share the file.
+  [[nodiscard]] std::string export_chrome_json(
+      const std::string& extra_events = {}) const;
+  /// Writes export_chrome_json(extra_events) to `path`; false on I/O
+  /// failure.
+  bool write_chrome_json(const std::string& path,
+                         const std::string& extra_events = {}) const;
 
  private:
   void push(const TraceEvent& ev);

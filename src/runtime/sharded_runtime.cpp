@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/flow_latency.h"
 #include "obs/trace.h"
 #include "topo/topology.h"
 
@@ -465,6 +466,20 @@ void ShardedRuntime::drain_fast(const std::vector<workload::Flow>& flows,
       ++net_.metrics_->flows_flow_table_hit;
       const SimDuration steady = paths.steady(src_sw_[k], dst_sw_[k]);
       net_.account_flow_latency(flow, steady, steady, *net_.metrics_);
+      // Coordinator-side hit: attribute like any other flow-table hit
+      // (the else branch records inside finish_controller_flow).
+      if (obs::flow_attribution_enabled()) {
+        obs::FlowRecord rec;
+        rec.flow_id = flow.id;
+        rec.start = flow.start;
+        rec.src_sw = src_sw_[k].value();
+        rec.dst_sw = dst_sw_[k].value();
+        rec.path = obs::FlowPathKind::kFlowTableHit;
+        rec.stages.edge = net_.config().latency.host_link +
+                          net_.config().latency.switch_processing;
+        rec.stages.e2e = steady;
+        obs::flow_recorder().record(rec);
+      }
     } else {
       net_.finish_controller_flow(
           flow, src_sw_[k], dst_sw_[k], *entry.pkt,

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "core/invariants.h"
+#include "obs/flow_latency.h"
 #include "obs/trace.h"
 #include "topo/builder.h"
 #include "workload/generators.h"
@@ -330,6 +331,13 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
   obs::trace_instant(obs::TraceEventType::kScenarioEvent,
                      net_->simulator().now(),
                      static_cast<std::uint64_t>(ev.kind), applied ? 1 : 0);
+  // Script events fence the latency-attribution phases: every stage
+  // histogram from here on accumulates into a window labelled by this
+  // event, so reports can contrast e.g. pre-outage vs outage latency.
+  if (obs::flow_attribution_enabled()) {
+    obs::flow_recorder().begin_phase(to_string(ev.kind),
+                                     net_->simulator().now());
+  }
   if (check_invariants_) {
     run_invariant_check(std::string("after ") + to_string(ev.kind) +
                             " at " +

@@ -7,6 +7,12 @@
 // array is non-empty, every event carries the phase-appropriate fields,
 // timestamps are monotone per (pid, tid) track in file order, and — when
 // required categories are listed — each appears on at least one event.
+//
+// Flow-latency spans (category "flowlat", emitted for --flow-sample runs
+// by the FlowLatencyRecorder) get extra structural checks: they must be
+// complete "X" spans named after a known stage, carrying a numeric
+// "flow" arg. List "flowlat" as a required category when validating a
+// sampling-enabled run.
 // Exit codes: 0 ok, 1 validation failure, 2 unreadable file / bad usage.
 #include <cstdio>
 #include <fstream>
@@ -104,6 +110,22 @@ int main(int argc, char** argv) {
       const JsonValue* dur = e.find("dur");
       if (!is_number(dur)) return fail(i, "X event missing numeric \"dur\"");
       if (dur->number < 0) return fail(i, "X event with negative dur");
+    }
+    if (cat->string == "flowlat") {
+      static const std::set<std::string> kFlowStages = {
+          "edge", "punt_rtt", "ctrl_queue", "install", "e2e"};
+      if (ph->string != "X") {
+        return fail(i, "flowlat event is not an \"X\" span");
+      }
+      if (!kFlowStages.contains(e.find("name")->string)) {
+        return fail(i, "flowlat span with unknown stage name \"" +
+                           e.find("name")->string + "\"");
+      }
+      const JsonValue* args = e.find("args");
+      if (args == nullptr || args->kind != JsonValue::Kind::kObject ||
+          !is_number(args->find("flow"))) {
+        return fail(i, "flowlat span missing numeric args.flow");
+      }
     }
     const std::pair<double, double> track{e.find("pid")->number,
                                           e.find("tid")->number};

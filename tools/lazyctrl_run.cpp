@@ -19,6 +19,13 @@
 //                            the final repetition and write them to FILE in
 //                            Chrome trace_event JSON (load in Perfetto or
 //                            chrome://tracing; see docs/OBSERVABILITY.md)
+//   --flow-sample N          flight-record every N-th flow (deterministic,
+//                            keyed on the flow id — bit-identical metrics
+//                            with any N, including 0 = off). Sampled flows
+//                            land in --trace output as per-stage spans.
+//                            Stage latency histograms + the
+//                            latency_*_p*_ns JSON metrics are always on,
+//                            independent of N.
 //   --stats-dump             after the final repetition, enumerate the
 //                            network's obs::Registry (counters + gauges) to
 //                            stdout and into the JSON "stats" section
@@ -36,12 +43,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
 #include "core/metrics.h"
 #include "core/network.h"
 #include "harness.h"
+#include "obs/flow_latency.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "scenario/runner.h"
@@ -55,7 +64,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario.scn> [--set section.key=value]... "
                "[--scale F] [--reps N] [--json-dir DIR] [--print-spec]\n"
-               "          [--trace FILE] [--stats-dump] [--log-level LEVEL]\n",
+               "          [--trace FILE] [--flow-sample N] [--stats-dump] "
+               "[--log-level LEVEL]\n",
                argv0);
   return 2;
 }
@@ -114,6 +124,49 @@ void report_run(const scenario::ScenarioRunner& runner,
       runner.network().failover_event_count());
 }
 
+constexpr std::pair<const char*, double> kReportedQuantiles[] = {
+    {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+
+// Stage-latency percentiles from the flow-attribution histograms
+// (obs/flow_latency.h): whole-run quantiles as first-class metrics
+// ("latency_e2e_p99_ns", required for scenario benches by
+// check_bench_json), per-phase quantiles as stats entries keyed
+// "latency.phase<i>.<event label>.<stage>_p<N>_ns".
+void report_latency(benchx::BenchReport& report) {
+  const obs::FlowLatencyRecorder& rec = obs::flow_recorder();
+  for (std::size_t i = 0; i < obs::kNumFlowStages; ++i) {
+    const auto stage = static_cast<obs::FlowStage>(i);
+    const auto& h = rec.stage_histogram(stage);
+    for (const auto& [name, p] : kReportedQuantiles) {
+      report.metric(
+          std::string("latency_") + obs::flow_stage_name(stage) + "_" +
+              name + "_ns",
+          h.quantile(p), "ns");
+    }
+  }
+  for (std::size_t pi = 0; pi < rec.phases().size(); ++pi) {
+    const auto& phase = rec.phases()[pi];
+    for (std::size_t i = 0; i < obs::kNumFlowStages; ++i) {
+      const auto stage = static_cast<obs::FlowStage>(i);
+      const auto& h = phase.stages[i];
+      if (h.count() == 0) continue;
+      for (const auto& [name, p] : {std::pair{"p50", 0.50}, {"p99", 0.99}}) {
+        report.stat("latency.phase" + std::to_string(pi) + "." + phase.label +
+                        "." + obs::flow_stage_name(stage) + "_" + name +
+                        "_ns",
+                    h.quantile(p));
+      }
+    }
+  }
+  const auto& e2e = rec.stage_histogram(obs::FlowStage::kE2e);
+  std::printf(
+      "  latency e2e p50 %.0f ns | p99 %.0f ns | ctrl_queue p99 %.0f ns | "
+      "%llu samples, %zu flight-recorded\n",
+      e2e.quantile(0.50), e2e.quantile(0.99),
+      rec.stage_histogram(obs::FlowStage::kCtrlQueue).quantile(0.99),
+      static_cast<unsigned long long>(e2e.count()), rec.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +179,7 @@ int main(int argc, char** argv) {
   bool print_spec = false;
   std::string trace_path;
   bool stats_dump = false;
+  int flow_sample = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,6 +220,14 @@ int main(int argc, char** argv) {
       const char* v = next("--trace");
       if (v == nullptr) return 2;
       trace_path = v;
+    } else if (arg == "--flow-sample") {
+      const char* v = next("--flow-sample");
+      if (v == nullptr) return 2;
+      flow_sample = std::atoi(v);
+      if (flow_sample < 0) {
+        std::fprintf(stderr, "--flow-sample expects a non-negative integer\n");
+        return 2;
+      }
     } else if (arg == "--stats-dump") {
       stats_dump = true;
     } else if (arg == "--log-level") {
@@ -239,6 +301,9 @@ int main(int argc, char** argv) {
   int rep_index = 0;
   bool all_identical = true;
   if (!trace_path.empty()) obs::recorder().enable();
+  // Stage histograms are always on (the latency_*_ns metrics are part of
+  // the scenario JSON schema); --flow-sample only adds ring records.
+  obs::flow_recorder().enable(static_cast<std::uint32_t>(flow_sample));
   const int status = benchx::run_benchmark(
       "scenario_" + benchx::slugify(spec.name),
       "Scenario — " + spec.name,
@@ -249,6 +314,7 @@ int main(int argc, char** argv) {
         // Each invocation records into a fresh ring so the written file
         // covers exactly the final repetition.
         if (!trace_path.empty()) obs::recorder().clear();
+        obs::flow_recorder().clear();
         auto runner = std::make_unique<scenario::ScenarioRunner>(spec);
         std::string error;
         if (!runner->run(&error)) {
@@ -273,6 +339,7 @@ int main(int argc, char** argv) {
           }
         }
         if (rep_index >= total_invocations) {
+          report_latency(report);
           if (stats_dump) {
             obs::Registry registry;
             runner->network().register_stats(registry);
@@ -283,11 +350,26 @@ int main(int argc, char** argv) {
             }
           }
           if (!trace_path.empty()) {
-            if (obs::recorder().write_chrome_json(trace_path)) {
-              std::printf("  trace: %zu events -> %s (%llu dropped)\n",
-                          obs::recorder().size(), trace_path.c_str(),
-                          static_cast<unsigned long long>(
-                              obs::recorder().dropped()));
+            if (obs::write_chrome_trace(trace_path)) {
+              std::printf("  trace: %zu events + %zu flow records -> %s\n",
+                          obs::recorder().size(), obs::flow_recorder().size(),
+                          trace_path.c_str());
+              if (obs::recorder().dropped() > 0) {
+                std::fprintf(stderr,
+                             "warning: trace ring overflowed, %llu oldest "
+                             "events dropped (obs.trace_dropped) — raise the "
+                             "ring capacity or trace a shorter window\n",
+                             static_cast<unsigned long long>(
+                                 obs::recorder().dropped()));
+              }
+              if (obs::flow_recorder().dropped() > 0) {
+                std::fprintf(stderr,
+                             "warning: flight-recorder ring overflowed, "
+                             "%llu oldest flow records dropped — raise "
+                             "--flow-sample N to sample fewer flows\n",
+                             static_cast<unsigned long long>(
+                                 obs::flow_recorder().dropped()));
+              }
             } else {
               std::fprintf(stderr, "cannot write trace to %s\n",
                            trace_path.c_str());
