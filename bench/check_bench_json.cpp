@@ -34,6 +34,11 @@ const std::map<std::string, std::vector<std::string>>& required_metrics() {
       {"micro_datapath",
        {"throughput_batched_flows_per_sec", "batched_speedup",
         "gfib_scan_ns", "gfib_scan_sliced_ns", "gfib_scan_speedup"}},
+      {"ctrl_faults",
+       {"delivered_fraction_loss_0", "delivered_fraction_loss_1pct",
+        "delivered_fraction_loss_10pct", "degraded_fraction_loss_10pct",
+        "dropped_fraction_loss_10pct", "latency_e2e_p99_ns_loss_10pct",
+        "flows_degraded", "admission_drops"}},
       {"obs_overhead",
        {"replay_flows_per_sec_tracing_off", "replay_flows_per_sec_tracing_on",
         "tracing_on_overhead_pct", "tracing_off_overhead_pct",

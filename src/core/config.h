@@ -36,6 +36,31 @@ struct ControllerConfig {
   /// Requests go to the earliest-free server (M/D/k-style FIFO).
   std::size_t servers = 1;
 
+  // --- unreliable control plane (all defaults are behavior-preserving) ---
+  /// Per-message control-channel loss probability in [0, 1]. Decided by a
+  /// splitmix64 hash of (flow id, attempt, direction, seed) — never the
+  /// run RNG — so lossy runs stay bit-identical across reps and shard
+  /// counts, and rate 0 is a true no-op.
+  double loss_rate = 0.0;
+  /// Per-message control-channel duplication probability in [0, 1]. A
+  /// duplicate consumes control-link bandwidth (message counters) but is
+  /// idempotent at the receiver.
+  double dup_rate = 0.0;
+  /// Outage/backlog queue capacity (0 = unlimited). When bounded, punts
+  /// arriving during an outage with a full backlog get an explicit reject
+  /// reply instead of queueing (drop-tail admission).
+  std::size_t queue_cap = 0;
+  /// Retries an edge switch attempts after a punt's reply times out (the
+  /// initial attempt is not a retry). Past the limit the flow degrades to
+  /// §III-D intra-group flooding (LazyCtrl) or is dropped (OpenFlow).
+  std::uint32_t punt_retry_limit = 3;
+  /// Base detection timeout / backoff unit: a failed attempt k costs
+  /// (punt_retry_base << k) plus deterministic jitter before the next try.
+  SimDuration punt_retry_base = 2 * kMillisecond;
+  /// Anti-entropy reconciliation period (0 = off): periodically audits
+  /// and repairs L-FIB/C-LIB/G-FIB state that diverged under loss.
+  SimDuration reconcile_period = 0;
+
   bool operator==(const ControllerConfig&) const = default;
 };
 

@@ -25,8 +25,20 @@ std::optional<ClibEntry> CentralController::clib_lookup(MacAddress mac) const {
 }
 
 SimTime CentralController::admit_request(SimTime arrival) {
+  return admit_request_bounded(arrival, 0).done;
+}
+
+CentralController::AdmitResult CentralController::admit_request_bounded(
+    SimTime arrival, std::size_t queue_cap) {
   ++total_requests_;
   ++window_requests_;
+  if (queue_cap > 0 && arrival < outage_until_ &&
+      outage_queue_depth_ >= queue_cap) {
+    // Drop-tail: the outage backlog is full; shed the request without
+    // touching queue or server state.
+    ++admission_drops_;
+    return {.done = 0, .rejected = true};
+  }
   if (arrival < outage_until_) {
     // Arrived into an ongoing outage: it queues until the outage lifts.
     ++outage_queue_depth_;
@@ -43,7 +55,7 @@ SimTime CentralController::admit_request(SimTime arrival) {
   const SimTime start = std::max({arrival, *it, outage_until_});
   const SimTime done = start + config_.latency.controller_service;
   *it = done;
-  return done;
+  return {.done = done, .rejected = false};
 }
 
 std::uint64_t CentralController::roll_window(SimTime /*now*/) {

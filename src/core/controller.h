@@ -45,6 +45,23 @@ class CentralController {
   /// regrouping trigger.
   SimTime admit_request(SimTime arrival);
 
+  /// Result of a bounded-admission attempt: when `rejected`, the request
+  /// hit the drop-tail cap and no server/queue state was mutated (`done`
+  /// is meaningless); the caller owes the client an explicit reject
+  /// reply.
+  struct AdmitResult {
+    SimTime done = 0;
+    bool rejected = false;
+  };
+
+  /// Like admit_request(), but with a drop-tail cap on the outage
+  /// backlog: a request arriving into an ongoing outage while
+  /// `outage_queue_depth() >= queue_cap` is rejected instead of queued
+  /// (cap 0 = unlimited, identical to admit_request()). Rejected
+  /// requests still count toward the workload window — the controller
+  /// saw the PacketIn even though it shed it.
+  AdmitResult admit_request_bounded(SimTime arrival, std::size_t queue_cap);
+
   [[nodiscard]] std::size_t server_count() const noexcept {
     return servers_free_at_.size();
   }
@@ -77,6 +94,17 @@ class CentralController {
   /// Requests that ever arrived during an outage window, cumulative.
   [[nodiscard]] std::uint64_t outage_queued_total() const noexcept {
     return outage_queued_total_;
+  }
+  /// Requests shed by the drop-tail admission cap, cumulative.
+  [[nodiscard]] std::uint64_t admission_drops() const noexcept {
+    return admission_drops_;
+  }
+  /// Rebases the backlog peak to the current depth. The scenario runner
+  /// calls this at each phase fence so lazyctrl_explain's per-phase
+  /// tables don't attribute a previous phase's backlog peak to the
+  /// current one.
+  void reset_outage_queue_peak() noexcept {
+    outage_queue_peak_ = outage_queue_depth_;
   }
 
   // --- workload window / regrouping trigger (§IV-B) ---
@@ -114,6 +142,7 @@ class CentralController {
   std::uint64_t outage_queue_depth_ = 0;
   std::uint64_t outage_queue_peak_ = 0;
   std::uint64_t outage_queued_total_ = 0;
+  std::uint64_t admission_drops_ = 0;
 
   // Stats windows.
   std::uint64_t window_requests_ = 0;

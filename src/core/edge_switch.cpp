@@ -1,6 +1,27 @@
 #include "core/edge_switch.h"
 
+#include "obs/flow_latency.h"
+
 namespace lazyctrl::core {
+
+SimDuration EdgeSwitch::punt_retry_delay(std::uint64_t flow_id,
+                                         std::uint32_t attempt,
+                                         const ControllerConfig& ctrl,
+                                         std::uint64_t seed) noexcept {
+  // Exponential backoff: base << attempt, shift clamped so a generous
+  // retry limit cannot overflow the duration.
+  const std::uint32_t shift = attempt < 16 ? attempt : 16;
+  const SimDuration base =
+      ctrl.punt_retry_base > 0 ? ctrl.punt_retry_base : kMillisecond;
+  const SimDuration backoff = base << shift;
+  // Jitter in [0, base/2], a pure function of (flow, attempt, seed)
+  // through the splitmix64 finalizer — never the run RNG.
+  const std::uint64_t h = obs::mix_flow_id(
+      flow_id ^ (static_cast<std::uint64_t>(attempt) << 48) ^
+      0x7C0F'FEE5'EED1'5EA7ull ^ obs::mix_flow_id(seed));
+  const auto span = static_cast<std::uint64_t>(base / 2 + 1);
+  return backoff + static_cast<SimDuration>(h % span);
+}
 
 EdgeSwitch::EdgeSwitch(SwitchId id, IpAddress underlay_ip,
                        MacAddress management_mac, const Config& config)

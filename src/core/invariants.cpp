@@ -74,23 +74,34 @@ void InvariantChecker::check_metrics(const Network& net, Collector& out) {
   const RunMetrics& m = *net.metrics_;
 
   if (net.config_.mode == ControlMode::kLazyCtrl) {
-    // Fig. 5 pipeline: every flow ends as exactly one of flow-table hit,
-    // local delivery, intra-group forward, inter-group controller setup
-    // or transition-window punt.
-    const std::uint64_t accounted =
+    // Fig. 5 pipeline under the fault model: every flow ends as exactly
+    // one of flow-table hit, local delivery, intra-group forward,
+    // inter-group controller setup, transition-window punt (delivered),
+    // degraded flood delivery or drop:
+    //   flows_seen == delivered + degraded + dropped, with in-flight
+    // identically 0 at event fences (flows resolve within one simulator
+    // event, so there is no in-flight term to track).
+    const std::uint64_t delivered =
         m.flows_flow_table_hit + m.flows_local_delivery +
         m.flows_intra_group + m.flows_inter_group + m.transition_punts;
+    const std::uint64_t accounted =
+        delivered + m.flows_degraded + m.flows_dropped;
     if (m.flows_seen != accounted) {
       out.add("flow conservation",
               "flows_seen=" + u64s(m.flows_seen) +
-                  " != flow_table_hit+local+intra+inter+transition_punts=" +
-                  u64s(accounted) + " (" + u64s(m.flows_flow_table_hit) +
-                  "+" + u64s(m.flows_local_delivery) + "+" +
-                  u64s(m.flows_intra_group) + "+" +
-                  u64s(m.flows_inter_group) + "+" +
-                  u64s(m.transition_punts) + ")");
+                  " != delivered+degraded+dropped=" + u64s(accounted) +
+                  " (delivered=" + u64s(delivered) + " degraded=" +
+                  u64s(m.flows_degraded) + " dropped=" +
+                  u64s(m.flows_dropped) + ")");
     }
-    // Every PacketIn is an inter-group setup or a transition punt.
+    // LazyCtrl degrades punts to flooding instead of dropping them.
+    if (m.flows_dropped != 0) {
+      out.add("flow conservation",
+              "lazyctrl mode dropped " + u64s(m.flows_dropped) +
+                  " flows (punt exhaustion must degrade to flooding)");
+    }
+    // Every PacketIn is an inter-group setup or a transition punt
+    // (degraded/dropped flows never completed a PacketIn round trip).
     if (m.controller_packet_ins !=
         m.flows_inter_group + m.transition_punts) {
       out.add("flow conservation",
@@ -100,22 +111,36 @@ void InvariantChecker::check_metrics(const Network& net, Collector& out) {
     }
   } else {
     // OpenFlow baseline: the grouping pipeline is inert; a flow either
-    // hits an exact-match rule or goes to the controller.
+    // hits an exact-match rule, completes a controller round trip, or is
+    // dropped after punt exhaustion (the baseline has no flooding
+    // fallback, so degraded deliveries are impossible).
     if (m.flows_local_delivery || m.flows_intra_group ||
-        m.flows_inter_group || m.transition_punts) {
+        m.flows_inter_group || m.transition_punts || m.flows_degraded) {
       out.add("flow conservation",
               "openflow mode has nonzero grouping-path counters "
               "(local=" + u64s(m.flows_local_delivery) +
                   " intra=" + u64s(m.flows_intra_group) +
                   " inter=" + u64s(m.flows_inter_group) +
-                  " punts=" + u64s(m.transition_punts) + ")");
+                  " punts=" + u64s(m.transition_punts) +
+                  " degraded=" + u64s(m.flows_degraded) + ")");
     }
-    if (m.flows_seen != m.flows_flow_table_hit + m.controller_packet_ins) {
+    if (m.flows_seen != m.flows_flow_table_hit + m.controller_packet_ins +
+                            m.flows_dropped) {
       out.add("flow conservation",
               "flows_seen=" + u64s(m.flows_seen) +
-                  " != flow_table_hit+controller_packet_ins=" +
-                  u64s(m.flows_flow_table_hit + m.controller_packet_ins));
+                  " != flow_table_hit+controller_packet_ins+dropped=" +
+                  u64s(m.flows_flow_table_hit + m.controller_packet_ins +
+                       m.flows_dropped));
     }
+  }
+
+  // The RunMetrics admission-drop counter mirrors the controller's own
+  // tally — a mismatch means a reject path updated one side only.
+  if (m.ctrl_admission_drops != net.controller_.admission_drops()) {
+    out.add("flow conservation",
+            "ctrl_admission_drops=" + u64s(m.ctrl_admission_drops) +
+                " != controller.admission_drops=" +
+                u64s(net.controller_.admission_drops()));
   }
 
   // Every Bloom false-positive copy reaches exactly one wrong peer and is

@@ -52,7 +52,15 @@ namespace lazyctrl::core {
   X(dgm_switch_moves)                      \
   X(dgm_group_merges)                      \
   X(dgm_group_splits)                      \
-  X(dgm_flow_mods)
+  X(dgm_flow_mods)                         \
+  X(flows_degraded)                        \
+  X(flows_dropped)                         \
+  X(punt_retries)                          \
+  X(punt_timeouts)                         \
+  X(ctrl_admission_drops)                  \
+  X(ctrl_msgs_lost)                        \
+  X(ctrl_msgs_duped)                       \
+  X(reconcile_repairs)
 
 /// RunningStats fields (merge pairwise).
 #define LAZYCTRL_METRICS_STATS_FIELDS(X) \
@@ -103,6 +111,24 @@ struct RunMetrics {
   std::uint64_t dgm_group_merges = 0;
   std::uint64_t dgm_group_splits = 0;
   std::uint64_t dgm_flow_mods = 0;  ///< staged rule updates pushed by DGM
+
+  // --- Unreliable control plane (PR 9) ---
+  /// Flows delivered via the §III-D flooding fallback after their punt
+  /// exhausted all retries (delivered-but-degraded).
+  std::uint64_t flows_degraded = 0;
+  /// Flows dropped outright after punt exhaustion (openflow baseline has
+  /// no flooding fallback). Conservation:
+  ///   flows_seen == delivered + flows_degraded + flows_dropped
+  /// with delivered = hit + local + intra + inter + transition punts and
+  /// in_flight identically 0 at event fences (flows resolve within one
+  /// simulator event).
+  std::uint64_t flows_dropped = 0;
+  std::uint64_t punt_retries = 0;   ///< punt re-sends after a lost leg
+  std::uint64_t punt_timeouts = 0;  ///< punts that exhausted all retries
+  std::uint64_t ctrl_admission_drops = 0;  ///< drop-tail queue rejections
+  std::uint64_t ctrl_msgs_lost = 0;        ///< control messages lost
+  std::uint64_t ctrl_msgs_duped = 0;       ///< duplicate copies delivered
+  std::uint64_t reconcile_repairs = 0;     ///< anti-entropy FIB repairs
 
   /// Mean first-packet (setup) latency, milliseconds.
   RunningStats first_packet_latency_ms;

@@ -34,12 +34,38 @@ void record_flow_attribution(
   rec.path = path;
   rec.stages.edge = lat.host_link + lat.switch_processing;
   if (trip != nullptr) {
+    rec.stages.retry_backoff = trip->retry_backoff;
     rec.stages.punt_rtt = trip->uplink + trip->service;
     rec.stages.ctrl_queue = trip->queue;
     rec.stages.install = trip->downlink;
   }
   rec.stages.e2e = e2e;
   obs::flow_recorder().record(rec);
+}
+
+// Per-channel salts of the control-plane fault model. Large, distinct
+// constants so (flow, attempt, channel) triples decorrelate after the
+// splitmix64 finalizer.
+constexpr std::uint64_t kSaltUplinkLoss = 0xA3C5'9D17'4B21'E6F9ull;
+constexpr std::uint64_t kSaltUplinkDup = 0x1F86'C2B4'7E09'5A3Dull;
+constexpr std::uint64_t kSaltDownlinkLoss = 0x6E14'8FA2'D35B'70C8ull;
+constexpr std::uint64_t kSaltDownlinkDup = 0xB90D'417E'268C'F5A1ull;
+
+// Deterministic fault predicate for one control-plane message leg: the
+// decision is a pure function of (config seed, flow id, attempt, salt)
+// through the splitmix64 finalizer — the run RNG is never consulted, so
+// fault injection is bit-identical across shard counts, across reps,
+// and a rate of 0 never perturbs a run (same discipline as the flow
+// sampler in obs/flow_latency.h).
+bool fault_roll(std::uint64_t seed, std::uint64_t flow_id,
+                std::uint32_t attempt, std::uint64_t salt,
+                double rate) noexcept {
+  if (rate <= 0.0) return false;
+  const std::uint64_t h = obs::mix_flow_id(
+      flow_id ^ (static_cast<std::uint64_t>(attempt) << 40) ^ salt ^
+      obs::mix_flow_id(seed));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
 }
 
 }  // namespace
@@ -379,6 +405,107 @@ SimDuration Network::controller_round_trip(SimTime now, SwitchId via,
     breakdown->downlink = config_.latency.control_link + detour;
   }
   return (done + config_.latency.control_link + detour) - now;
+}
+
+Network::PuntOutcome Network::controller_punt_with_retry(
+    std::uint64_t flow_id, SimTime now, SwitchId via,
+    ControllerTripBreakdown* breakdown, RunMetrics& m) {
+  const ControllerConfig& ctrl = config_.controller;
+  if (ctrl.loss_rate <= 0.0 && ctrl.dup_rate <= 0.0 && ctrl.queue_cap == 0) {
+    // Perfect control plane: exactly the plain round trip (bit-identical
+    // to the pre-fault-model behaviour).
+    return {.delay = controller_round_trip(now, via, breakdown),
+            .backoff = 0,
+            .delivered = true};
+  }
+
+  const std::uint64_t seed = config_.seed;
+  SimDuration elapsed = 0;  ///< backoff accumulated before this attempt
+  const std::uint64_t attempts = 1 + std::uint64_t{ctrl.punt_retry_limit};
+  for (std::uint64_t a = 0; a < attempts; ++a) {
+    const auto attempt = static_cast<std::uint32_t>(a);
+    if (attempt > 0) {
+      // The previous attempt failed: the edge switch detects the missing
+      // reply after a deterministic exponential backoff (+ jitter keyed
+      // on the flow id, not the run RNG) and re-sends the punt.
+      elapsed += EdgeSwitch::punt_retry_delay(flow_id, attempt - 1, ctrl,
+                                              seed);
+      ++m.punt_retries;
+    }
+    const SimTime t = now + elapsed;
+
+    // PacketIn uplink.
+    m.control_link_messages += 1;
+    if (fault_roll(seed, flow_id, attempt, kSaltUplinkDup, ctrl.dup_rate)) {
+      m.control_link_messages += 1;  // duplicate copy also transits
+      ++m.ctrl_msgs_duped;
+    }
+    if (fault_roll(seed, flow_id, attempt, kSaltUplinkLoss,
+                   ctrl.loss_rate)) {
+      ++m.ctrl_msgs_lost;
+      continue;  // PacketIn never arrived
+    }
+
+    // Control-link detour (§III-E2), as in controller_round_trip().
+    SimDuration detour = 0;
+    if (via.valid() && !wheels_.empty()) {
+      if (FailureWheel* wheel = wheel_of(via);
+          wheel != nullptr && wheel->control_relayed(via)) {
+        detour = config_.latency.datapath + config_.latency.switch_processing;
+      }
+    }
+    const SimTime arrival = t + detour + config_.latency.control_link;
+
+    // Bounded admission: a full outage backlog sheds the request with an
+    // explicit reject reply; the switch backs off and retries.
+    const CentralController::AdmitResult admit =
+        controller_.admit_request_bounded(arrival, ctrl.queue_cap);
+    if (admit.rejected) {
+      ++m.ctrl_admission_drops;
+      m.control_link_messages += 1;  // reject reply
+      continue;
+    }
+    const SimTime start =
+        std::max(arrival, admit.done - config_.latency.controller_service);
+    const SimTime done = start + config_.latency.controller_service;
+    m.controller_queue_delay_ms.add(to_milliseconds(start - arrival));
+
+    // FlowMod/PacketOut downlink.
+    m.control_link_messages += 1;
+    if (fault_roll(seed, flow_id, attempt, kSaltDownlinkDup,
+                   ctrl.dup_rate)) {
+      m.control_link_messages += 1;
+      ++m.ctrl_msgs_duped;
+    }
+    if (fault_roll(seed, flow_id, attempt, kSaltDownlinkLoss,
+                   ctrl.loss_rate)) {
+      // The controller serviced the request but the reply was lost; the
+      // switch never learns and retries the whole punt.
+      ++m.ctrl_msgs_lost;
+      continue;
+    }
+
+    // Fully successful attempt — the only one that counts as a PacketIn,
+    // so the flows/packet-ins conservation identities are unchanged by
+    // faults (failed legs live in ctrl_msgs_* and punt_retries).
+    m.controller_requests.add_event(arrival);
+    ++m.controller_packet_ins;
+    const SimDuration trip =
+        (done + config_.latency.control_link + detour) - t;
+    if (breakdown != nullptr) {
+      breakdown->uplink = detour + config_.latency.control_link;
+      breakdown->queue = start - arrival;
+      breakdown->service = config_.latency.controller_service;
+      breakdown->downlink = config_.latency.control_link + detour;
+      breakdown->retry_backoff = elapsed;
+    }
+    return {.delay = elapsed + trip, .backoff = elapsed, .delivered = true};
+  }
+
+  // Every attempt lost or rejected: the punt times out at the edge.
+  ++m.punt_timeouts;
+  if (breakdown != nullptr) breakdown->retry_backoff = elapsed;
+  return {.delay = elapsed, .backoff = elapsed, .delivered = false};
 }
 
 void Network::install_reactive_rule(EdgeSwitch& sw, const net::Packet& pkt,
@@ -759,10 +886,44 @@ void Network::finish_controller_flow(const workload::Flow& flow,
   SimDuration e2e = 0;
   obs::FlowPathKind path = obs::FlowPathKind::kOpenFlowMiss;
 
+  // Punt send offset and detour-capable spoke; the pure-false-positive
+  // report is raised by the mis-targeted peer (generic spoke) after the
+  // copy crossed the fabric.
+  const bool pure_fp = reason == ControllerPathReason::kPureFalsePositive;
+  const SimDuration report_at = pure_fp ? paths.cross : lat.host_link;
+  const SwitchId via = pure_fp ? SwitchId::invalid() : src_sw;
+
+  const PuntOutcome out =
+      controller_punt_with_retry(flow.id, now + report_at, via, bdp, m);
+
+  if (!out.delivered) {
+    // The punt exhausted every retry. LazyCtrl degrades gracefully: the
+    // edge switch falls back to §III-D intra-group flooding, so the flow
+    // is delivered (degraded) over the peer links without a rule. The
+    // OpenFlow baseline has no local fallback — the flow is dropped and
+    // deliberately NOT latency-accounted (no packet ever arrives).
+    if (config_.mode == ControlMode::kLazyCtrl) {
+      ++m.flows_degraded;
+      m.peer_link_messages += sw.gfib().peer_count();
+      const SimDuration first = report_at + out.delay + paths.cross +
+                                lat.datapath + lat.switch_processing;
+      account_flow_latency(flow, first, steady, m);
+      e2e = first;
+      path = obs::FlowPathKind::kDegradedFlood;
+    } else {
+      ++m.flows_dropped;
+      e2e = report_at + out.delay;
+      path = obs::FlowPathKind::kPuntDropped;
+    }
+    if (attr) {
+      record_flow_attribution(flow, src_sw, dst_sw, path, lat, e2e, &bd);
+    }
+    return;
+  }
+
+  const SimDuration ctrl = out.delay;
   switch (reason) {
     case ControllerPathReason::kOpenFlowMiss: {
-      const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/true, now);
       account_flow_latency(flow, steady + ctrl, steady, m);
       e2e = steady + ctrl;
@@ -771,8 +932,6 @@ void Network::finish_controller_flow(const workload::Flow& flow,
     }
     case ControllerPathReason::kTransitionPunt: {
       ++m.transition_punts;
-      const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       account_flow_latency(flow, steady + ctrl, steady, m);
       e2e = steady + ctrl;
@@ -781,8 +940,6 @@ void Network::finish_controller_flow(const workload::Flow& flow,
     }
     case ControllerPathReason::kExcludedHosts:
     case ControllerPathReason::kInterGroupPunt: {
-      const SimDuration ctrl =
-          controller_round_trip(now + lat.host_link, src_sw, bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++m.flows_inter_group;
       m.inter_group_arrivals.add_event(now);
@@ -794,9 +951,6 @@ void Network::finish_controller_flow(const workload::Flow& flow,
       break;
     }
     case ControllerPathReason::kPureFalsePositive: {
-      const SimDuration report_at = paths.cross;  // copy reached wrong peer
-      const SimDuration ctrl =
-          controller_round_trip(now + report_at, SwitchId::invalid(), bdp);
       install_reactive_rule(sw, pkt, dst_sw, /*exact_match=*/false, now);
       ++m.flows_inter_group;
       m.inter_group_arrivals.add_event(now);
@@ -1014,6 +1168,44 @@ void Network::begin_controller_outage(SimDuration duration) {
   controller_.begin_outage(now + duration);
 }
 
+bool Network::reconcile_state() {
+  if (config_.mode != ControlMode::kLazyCtrl || !bootstrapped_) return false;
+  std::uint64_t repairs = 0;
+
+  // Audit every active host's L-FIB record at its attached switch and
+  // its C-LIB entry against the topology (the ground truth); re-learn
+  // whatever diverged while control messages were being lost.
+  for (const topo::HostInfo& h : topology_.hosts()) {
+    if (dormant_hosts_.contains(h.id.value())) continue;
+    EdgeSwitch& hsw = *switches_[h.attached_switch.value()];
+    const std::optional<LFibEntry> lrec = hsw.lfib().lookup(h.mac);
+    if (!lrec.has_value() || lrec->host != h.id || lrec->tenant != h.tenant) {
+      hsw.lfib().learn(h.mac, h.id, h.tenant);
+      ++repairs;
+    }
+    const std::optional<ClibEntry> crec = controller_.clib_lookup(h.mac);
+    if (!crec.has_value() || crec->host != h.id ||
+        crec->attached_switch != h.attached_switch) {
+      controller_.clib_learn(h.mac, h.id, h.tenant, h.attached_switch);
+      ++repairs;
+    }
+  }
+
+  // Resync every group's G-FIB from the (now repaired) L-FIBs. The delta
+  // pass keeps filters that already exist, so this is idempotent — a
+  // reconcile over converged state repairs nothing and rebuilds nothing.
+  for (const std::vector<SwitchId>& members :
+       controller_.grouping().members()) {
+    if (!members.empty()) rebuild_group_fib(members);
+  }
+
+  metrics_->reconcile_repairs += repairs;
+  // Audit traffic rides the state channel (switch -> designated ->
+  // controller), priced as one report per switch.
+  metrics_->state_link_messages += switches_.size();
+  return true;
+}
+
 bool Network::inject_switch_failure(SwitchId sw) {
   FailureWheel* wheel = wheel_of(sw);
   if (wheel == nullptr || !wheel->is_switch_up(sw)) return false;
@@ -1110,6 +1302,10 @@ Network::ReplayTimers Network::begin_replay(const workload::Trace& trace) {
     timers.dgm = simulator_.schedule_periodic(
         config_.dgm.maintenance_period, [this] { run_dgm_maintenance(); });
   }
+  if (config_.controller.reconcile_period > 0) {
+    timers.reconcile = simulator_.schedule_periodic(
+        config_.controller.reconcile_period, [this] { reconcile_state(); });
+  }
 
   // Migrations.
   for (const PendingMigration& m : pending_migrations_) {
@@ -1123,6 +1319,7 @@ void Network::end_replay(const ReplayTimers& timers) {
   simulator_.cancel(timers.window);
   simulator_.cancel(timers.report);
   if (timers.dgm != 0) simulator_.cancel(timers.dgm);
+  if (timers.reconcile != 0) simulator_.cancel(timers.reconcile);
 }
 
 void Network::replay(const workload::Trace& trace) {
@@ -1316,6 +1513,9 @@ void Network::register_stats(obs::Registry& r) {
   });
   r.gauge("controller.outage_queued_total", [this] {
     return static_cast<double>(controller_.outage_queued_total());
+  });
+  r.gauge("controller.admission_drops", [this] {
+    return static_cast<double>(controller_.admission_drops());
   });
 
   // FIB occupancy across all switches.

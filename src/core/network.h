@@ -131,6 +131,10 @@ class Network : private dgm::GroupingHost {
     SimDuration queue = 0;
     SimDuration service = 0;
     SimDuration downlink = 0;
+    /// Backoff waits of failed punt attempts (lossy control channels);
+    /// 0 when the first attempt went through. Included in the trip's
+    /// total delay, surfaced as the `retry_backoff` latency stage.
+    SimDuration retry_backoff = 0;
   };
 
   // --- observability (src/obs) ---
@@ -200,6 +204,32 @@ class Network : private dgm::GroupingHost {
   /// Controller outage starting now: requests keep arriving and queueing
   /// but none is serviced for `duration`; the backlog then drains FIFO.
   void begin_controller_outage(SimDuration duration);
+
+  // --- unreliable control plane (scenario seams) ---
+  /// Runtime overrides of the control-channel fault model. Fault
+  /// decisions are keyed on splitmix64(flow id, attempt, seed) — never
+  /// the run RNG — so runs stay bit-identical across shard counts and
+  /// rate changes only affect the messages they price.
+  void set_control_loss(double rate) noexcept {
+    config_.controller.loss_rate = rate;
+  }
+  void set_control_dup(double rate) noexcept {
+    config_.controller.dup_rate = rate;
+  }
+  /// Drop-tail cap on the controller's outage backlog (0 = unlimited).
+  void set_ctrl_queue_cap(std::size_t cap) noexcept {
+    config_.controller.queue_cap = cap;
+  }
+
+  /// Anti-entropy reconciliation (scenario event `reconcile`, also run
+  /// periodically when ctrl.reconcile_period > 0): audits every active
+  /// host's L-FIB record at its attached switch and its C-LIB entry,
+  /// repairs divergence by re-learning, and resyncs every group's G-FIB
+  /// (delta pass — a no-op when nothing diverged). Returns false (no-op)
+  /// in OpenFlow mode or before bootstrap. Repairs are counted in
+  /// RunMetrics::reconcile_repairs; audit traffic in
+  /// state_link_messages.
+  bool reconcile_state();
 
   /// Failure injections, routed to the failure wheel of the group `sw`
   /// belongs to. Return false (no-op) when failover is disabled, `sw` is
@@ -301,6 +331,7 @@ class Network : private dgm::GroupingHost {
     sim::EventId window = 0;
     sim::EventId report = 0;
     sim::EventId dgm = 0;
+    sim::EventId reconcile = 0;
   };
   /// Re-buckets metrics to the trace horizon and schedules the periodic
   /// machinery (stats windows, state reports, DGM rounds, migrations).
@@ -363,6 +394,28 @@ class Network : private dgm::GroupingHost {
                                     SwitchId via = SwitchId::invalid(),
                                     ControllerTripBreakdown* breakdown =
                                         nullptr);
+
+  /// Outcome of a punt attempt sequence under the fault model: `delay`
+  /// is the total elapsed time (backoffs + the successful round trip
+  /// when delivered; backoffs only when not), `backoff` the accumulated
+  /// retry waits, `delivered` false when every attempt was lost/rejected.
+  struct PuntOutcome {
+    SimDuration delay = 0;
+    SimDuration backoff = 0;
+    bool delivered = true;
+  };
+  /// The fault-aware generalization of controller_round_trip(): sends
+  /// the PacketIn up to 1 + ctrl.punt_retry_limit times, pricing lost /
+  /// duplicated legs, bounded admission rejects and deterministic
+  /// exponential backoff between attempts. With loss_rate = dup_rate = 0
+  /// and queue_cap = 0 the first attempt succeeds and the result is
+  /// bit-identical to controller_round_trip(). Controller workload
+  /// series and PacketIn counters are bumped only for the successful
+  /// attempt, so the conservation identities are unchanged by faults.
+  PuntOutcome controller_punt_with_retry(std::uint64_t flow_id, SimTime now,
+                                         SwitchId via,
+                                         ControllerTripBreakdown* breakdown,
+                                         RunMetrics& m);
 
   /// Installs the coarse inter-group rule (LazyCtrl) or the exact-match
   /// rule (OpenFlow) for a resolved flow.

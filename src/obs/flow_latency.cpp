@@ -11,15 +11,16 @@ namespace lazyctrl::obs {
 namespace {
 
 constexpr const char* kStageNames[kNumFlowStages] = {
-    "edge", "punt_rtt", "ctrl_queue", "install", "e2e"};
+    "edge", "retry_backoff", "punt_rtt", "ctrl_queue", "install", "e2e"};
 constexpr const char* kStageMetrics[kNumFlowStages] = {
-    "latency.edge_ns", "latency.punt_rtt_ns", "latency.ctrl_queue_ns",
-    "latency.install_ns", "latency.e2e_ns"};
+    "latency.edge_ns", "latency.retry_backoff_ns", "latency.punt_rtt_ns",
+    "latency.ctrl_queue_ns", "latency.install_ns", "latency.e2e_ns"};
 constexpr const char* kPathNames[static_cast<std::size_t>(
     FlowPathKind::kNumKinds)] = {
     "flow_table_hit",  "local_deliver",  "intra_group",
     "openflow_miss",   "transition_punt", "excluded_hosts",
-    "pure_false_positive", "inter_group_punt"};
+    "pure_false_positive", "inter_group_punt", "degraded_flood",
+    "dropped"};
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[32];

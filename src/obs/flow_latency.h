@@ -49,6 +49,7 @@ namespace lazyctrl::obs {
 
 enum class FlowStage : std::uint8_t {
   kEdge = 0,
+  kRetryBackoff,  ///< punt retry backoff waits (lossy control channels)
   kPuntRtt,
   kCtrlQueue,
   kInstall,
@@ -73,12 +74,15 @@ enum class FlowPathKind : std::uint8_t {
   kExcludedHosts,
   kPureFalsePositive,
   kInterGroupPunt,
+  kDegradedFlood,  ///< punt exhausted retries; §III-D flooding fallback
+  kPuntDropped,    ///< punt exhausted retries; flow dropped (openflow)
   kNumKinds  // sentinel; keep last
 };
 [[nodiscard]] const char* flow_path_name(FlowPathKind k) noexcept;
 
 struct FlowStageLatency {
   SimDuration edge = 0;
+  SimDuration retry_backoff = 0;
   SimDuration punt_rtt = 0;
   SimDuration ctrl_queue = 0;
   SimDuration install = 0;
@@ -87,6 +91,7 @@ struct FlowStageLatency {
   [[nodiscard]] SimDuration stage(FlowStage s) const noexcept {
     switch (s) {
       case FlowStage::kEdge: return edge;
+      case FlowStage::kRetryBackoff: return retry_backoff;
       case FlowStage::kPuntRtt: return punt_rtt;
       case FlowStage::kCtrlQueue: return ctrl_queue;
       case FlowStage::kInstall: return install;

@@ -322,6 +322,21 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
     case EventKind::kForceRegroup:
       applied = net_->force_regroup();
       break;
+    case EventKind::kSetControlLoss:
+      net_->set_control_loss(ev.rate);
+      applied = true;
+      break;
+    case EventKind::kSetControlDup:
+      net_->set_control_dup(ev.rate);
+      applied = true;
+      break;
+    case EventKind::kSetCtrlQueueCap:
+      net_->set_ctrl_queue_cap(static_cast<std::size_t>(ev.cap));
+      applied = true;
+      break;
+    case EventKind::kReconcile:
+      applied = net_->reconcile_state();
+      break;
     case EventKind::kMigrationBurst:
     case EventKind::kTrafficSurge:
       assert(false && "handled at build time, never scheduled");
@@ -331,6 +346,10 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
   obs::trace_instant(obs::TraceEventType::kScenarioEvent,
                      net_->simulator().now(),
                      static_cast<std::uint64_t>(ev.kind), applied ? 1 : 0);
+  // Phase fence for the outage backlog peak: per-phase reports should
+  // see the peak reached since the previous script event, not the
+  // all-run maximum.
+  net_->controller().reset_outage_queue_peak();
   // Script events fence the latency-attribution phases: every stage
   // histogram from here on accumulates into a window labelled by this
   // event, so reports can contrast e.g. pre-outage vs outage latency.

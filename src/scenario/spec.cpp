@@ -84,6 +84,10 @@ constexpr EventName kEventNames[] = {
     {EventKind::kTenantDeparture, "tenant_departure"},
     {EventKind::kTrafficSurge, "traffic_surge"},
     {EventKind::kForceRegroup, "force_regroup"},
+    {EventKind::kSetControlLoss, "set_control_loss"},
+    {EventKind::kSetControlDup, "set_control_dup"},
+    {EventKind::kSetCtrlQueueCap, "set_ctrl_queue_cap"},
+    {EventKind::kReconcile, "reconcile"},
 };
 
 bool event_kind_from(const std::string& name, EventKind* out) {
@@ -307,6 +311,32 @@ bool set_config_key(ScenarioSpec& spec, const std::string& key,
     }
     return true;
   }
+  // unreliable control plane
+  if (key == "ctrl.loss_rate" || key == "ctrl.dup_rate") {
+    double* target = key == "ctrl.loss_rate" ? &c.controller.loss_rate
+                                             : &c.controller.dup_rate;
+    if (!f64(target)) return false;
+    if (*target < 0.0 || *target > 1.0) {
+      *err = key + " must be in [0, 1]";
+      return false;
+    }
+    return true;
+  }
+  if (key == "ctrl.queue_cap") return u64(&c.controller.queue_cap);
+  if (key == "ctrl.punt_retry_limit") {
+    return u64(&c.controller.punt_retry_limit);
+  }
+  if (key == "ctrl.punt_retry_base") {
+    if (!dur(&c.controller.punt_retry_base)) return false;
+    if (c.controller.punt_retry_base <= 0) {
+      *err = "ctrl.punt_retry_base must be positive";
+      return false;
+    }
+    return true;
+  }
+  if (key == "ctrl.reconcile_period") {
+    return dur(&c.controller.reconcile_period);
+  }
   // latency model
   if (key == "latency.host_link") return dur(&c.latency.host_link);
   if (key == "latency.datapath") return dur(&c.latency.datapath);
@@ -462,6 +492,8 @@ struct EventParamRule {
   bool spread = false;    ///< optional when accepted
   bool duration = false;
   bool factor = false;    ///< optional when accepted
+  bool rate = false;
+  bool cap = false;
 };
 
 EventParamRule param_rule(EventKind kind) {
@@ -483,6 +515,13 @@ EventParamRule param_rule(EventKind kind) {
     case EventKind::kTrafficSurge:
       return {.duration = true, .factor = true};
     case EventKind::kForceRegroup:
+      return {};
+    case EventKind::kSetControlLoss:
+    case EventKind::kSetControlDup:
+      return {.rate = true};
+    case EventKind::kSetCtrlQueueCap:
+      return {.cap = true};
+    case EventKind::kReconcile:
       return {};
   }
   return {};
@@ -519,6 +558,8 @@ void parse_event_line(Parser& p, int line, const std::string& text) {
   bool have_tenant = false;
   bool have_hosts = false;
   bool have_duration = false;
+  bool have_rate = false;
+  bool have_cap = false;
   bool ok = true;
   for (std::size_t i = 2; i < tokens.size(); ++i) {
     const std::string& tok = tokens[i];
@@ -604,6 +645,29 @@ void parse_event_line(Parser& p, int line, const std::string& text) {
         p.error(line, "factor expects a number > 1, got '" + value + "'");
         ok = false;
       }
+    } else if (key == "rate") {
+      if (!rule.rate) {
+        reject("is not valid");
+        continue;
+      }
+      have_rate = true;  // present, even if the value is bad
+      if (!parse_f64(value, &ev.rate) || ev.rate < 0.0 || ev.rate > 1.0) {
+        p.error(line, "rate expects a number in [0, 1], got '" + value + "'");
+        ok = false;
+        continue;
+      }
+    } else if (key == "cap") {
+      if (!rule.cap) {
+        reject("is not valid");
+        continue;
+      }
+      have_cap = true;  // present, even if the value is bad (0 = unlimited)
+      if (!parse_u64(value, &ev.cap)) {
+        p.error(line,
+                "cap expects a non-negative integer, got '" + value + "'");
+        ok = false;
+        continue;
+      }
     } else {
       p.error(line, "unknown event parameter '" + key + "'");
       ok = false;
@@ -626,6 +690,14 @@ void parse_event_line(Parser& p, int line, const std::string& text) {
   if (rule.duration && !have_duration) {
     p.error(line,
             std::string(to_string(ev.kind)) + " requires duration=<time>");
+    ok = false;
+  }
+  if (rule.rate && !have_rate) {
+    p.error(line, std::string(to_string(ev.kind)) + " requires rate=<prob>");
+    ok = false;
+  }
+  if (rule.cap && !have_cap) {
+    p.error(line, std::string(to_string(ev.kind)) + " requires cap=<count>");
     ok = false;
   }
   if (ok) {
@@ -948,6 +1020,14 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
   out << "runtime.sync_window = " << format_duration(c.runtime.sync_window)
       << "\n";
   out << "controller.servers = " << c.controller.servers << "\n";
+  out << "ctrl.loss_rate = " << fmt_double(c.controller.loss_rate) << "\n";
+  out << "ctrl.dup_rate = " << fmt_double(c.controller.dup_rate) << "\n";
+  out << "ctrl.queue_cap = " << c.controller.queue_cap << "\n";
+  out << "ctrl.punt_retry_limit = " << c.controller.punt_retry_limit << "\n";
+  out << "ctrl.punt_retry_base = "
+      << format_duration(c.controller.punt_retry_base) << "\n";
+  out << "ctrl.reconcile_period = "
+      << format_duration(c.controller.reconcile_period) << "\n";
   out << "latency.host_link = " << format_duration(c.latency.host_link)
       << "\n";
   out << "latency.datapath = " << format_duration(c.latency.datapath) << "\n";
@@ -975,6 +1055,8 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
     if (rule.spread) out << " spread=" << format_duration(ev.spread);
     if (rule.duration) out << " duration=" << format_duration(ev.duration);
     if (rule.factor) out << " factor=" << fmt_double(ev.factor);
+    if (rule.rate) out << " rate=" << fmt_double(ev.rate);
+    if (rule.cap) out << " cap=" << ev.cap;
     out << "\n";
   }
   return out.str();

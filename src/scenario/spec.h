@@ -66,6 +66,10 @@ enum class EventKind : std::uint8_t {
   kTenantDeparture,     ///< tenant `tenant` leaves (rules revoked)
   kTrafficSurge,        ///< flow arrivals x`factor` for `duration`
   kForceRegroup,        ///< immediate DGM round / IncUpdate renegotiation
+  kSetControlLoss,      ///< control-channel loss probability := `rate`
+  kSetControlDup,       ///< control-channel duplication prob. := `rate`
+  kSetCtrlQueueCap,     ///< controller backlog drop-tail cap := `cap`
+  kReconcile,           ///< anti-entropy audit/repair of FIB state
 };
 
 /// Canonical spelling of an event primitive (the `.scn` keyword).
@@ -90,6 +94,8 @@ struct ScenarioEvent {
   SimDuration spread = 0;     ///< migration_burst: window the moves span
   SimDuration duration = 0;   ///< controller_outage / traffic_surge
   double factor = 2.0;        ///< traffic_surge arrival multiplier
+  double rate = 0.0;          ///< set_control_loss / set_control_dup
+  std::uint64_t cap = 0;      ///< set_ctrl_queue_cap (0 = unlimited)
 
   bool operator==(const ScenarioEvent&) const = default;
 };

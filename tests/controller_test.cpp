@@ -75,6 +75,61 @@ TEST(ControllerQueueTest, CountsRequests) {
   EXPECT_EQ(ctrl.total_requests(), 5u);
 }
 
+TEST(ControllerAdmissionTest, BoundedAdmissionRejectsAtCap) {
+  CentralController ctrl(config_with(100));
+  ctrl.begin_outage(1000);
+  // Two requests fit under cap=2 and queue behind the outage.
+  EXPECT_FALSE(ctrl.admit_request_bounded(0, 2).rejected);
+  EXPECT_FALSE(ctrl.admit_request_bounded(1, 2).rejected);
+  EXPECT_EQ(ctrl.outage_queue_depth(), 2u);
+  // The third arrives into a full backlog: drop-tail reject.
+  const auto r = ctrl.admit_request_bounded(2, 2);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.done, 0);
+  EXPECT_EQ(ctrl.admission_drops(), 1u);
+  // The reject left queue state untouched.
+  EXPECT_EQ(ctrl.outage_queue_depth(), 2u);
+  EXPECT_EQ(ctrl.outage_queue_peak(), 2u);
+  EXPECT_EQ(ctrl.outage_queued_total(), 2u);
+  // The controller still saw the PacketIn (regrouping trigger input).
+  EXPECT_EQ(ctrl.total_requests(), 3u);
+}
+
+TEST(ControllerAdmissionTest, CapZeroIsUnlimited) {
+  CentralController ctrl(config_with(100));
+  ctrl.begin_outage(1000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ctrl.admit_request_bounded(i, 0).rejected);
+  }
+  EXPECT_EQ(ctrl.admission_drops(), 0u);
+  EXPECT_EQ(ctrl.outage_queue_depth(), 50u);
+}
+
+TEST(ControllerAdmissionTest, NoRejectOutsideOutage) {
+  CentralController ctrl(config_with(100));
+  // Back-to-back server queueing is NOT outage backlog — cap never bites.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(ctrl.admit_request_bounded(0, 1).rejected);
+  }
+  EXPECT_EQ(ctrl.admission_drops(), 0u);
+}
+
+TEST(ControllerAdmissionTest, ResetOutageQueuePeakRebases) {
+  CentralController ctrl(config_with(100));
+  ctrl.begin_outage(1000);
+  ctrl.admit_request(0);
+  ctrl.admit_request(1);
+  EXPECT_EQ(ctrl.outage_queue_peak(), 2u);
+  // Mid-outage reset keeps the live depth as the new floor.
+  ctrl.reset_outage_queue_peak();
+  EXPECT_EQ(ctrl.outage_queue_peak(), 2u);
+  // Post-outage the backlog drains; a reset then rebases peak to zero.
+  ctrl.admit_request(2000);
+  EXPECT_EQ(ctrl.outage_queue_depth(), 0u);
+  ctrl.reset_outage_queue_peak();
+  EXPECT_EQ(ctrl.outage_queue_peak(), 0u);
+}
+
 TEST(ControllerTriggerTest, NoRegroupWhenStatic) {
   Config cfg;
   cfg.grouping.dynamic_regrouping = false;

@@ -237,5 +237,50 @@ TEST(EdgeSwitchBatchTest, InterleavedRepeatsShareOneScan) {
   }
 }
 
+// --- punt retry schedule (unreliable control plane) ---
+
+TEST(PuntRetryDelayTest, DeterministicPureFunction) {
+  ControllerConfig ctrl;
+  ctrl.punt_retry_base = 2 * kMillisecond;
+  // Same (flow, attempt, config, seed) -> same delay, always: the
+  // schedule is keyed on splitmix64, never the run RNG.
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(EdgeSwitch::punt_retry_delay(77, a, ctrl, 42),
+              EdgeSwitch::punt_retry_delay(77, a, ctrl, 42));
+  }
+  // Distinct flows (and distinct seeds) draw distinct jitter.
+  EXPECT_NE(EdgeSwitch::punt_retry_delay(77, 0, ctrl, 42),
+            EdgeSwitch::punt_retry_delay(78, 0, ctrl, 42));
+  EXPECT_NE(EdgeSwitch::punt_retry_delay(77, 0, ctrl, 42),
+            EdgeSwitch::punt_retry_delay(77, 0, ctrl, 43));
+}
+
+TEST(PuntRetryDelayTest, ExponentialBackoffWithBoundedJitter) {
+  ControllerConfig ctrl;
+  ctrl.punt_retry_base = 4 * kMillisecond;
+  const SimDuration base = ctrl.punt_retry_base;
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    const SimDuration d = EdgeSwitch::punt_retry_delay(9001, a, ctrl, 7);
+    const SimDuration backoff = base << a;
+    // backoff <= delay <= backoff + base/2 (the jitter window).
+    EXPECT_GE(d, backoff) << "attempt " << a;
+    EXPECT_LE(d, backoff + base / 2) << "attempt " << a;
+  }
+  // Doubling: attempt a+1's floor exceeds attempt a's ceiling for the
+  // window sizes above, so the schedule is strictly increasing.
+  EXPECT_LT(EdgeSwitch::punt_retry_delay(9001, 0, ctrl, 7),
+            EdgeSwitch::punt_retry_delay(9001, 1, ctrl, 7));
+  EXPECT_LT(EdgeSwitch::punt_retry_delay(9001, 1, ctrl, 7),
+            EdgeSwitch::punt_retry_delay(9001, 2, ctrl, 7));
+}
+
+TEST(PuntRetryDelayTest, ZeroBaseFallsBackToOneMillisecond) {
+  ControllerConfig ctrl;
+  ctrl.punt_retry_base = 0;
+  const SimDuration d = EdgeSwitch::punt_retry_delay(1, 0, ctrl, 0);
+  EXPECT_GE(d, kMillisecond);
+  EXPECT_LE(d, kMillisecond + kMillisecond / 2);
+}
+
 }  // namespace
 }  // namespace lazyctrl::core

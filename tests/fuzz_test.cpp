@@ -153,6 +153,44 @@ TEST(InvariantCheckerTest, FlagsUnaccountedFlow) {
       << report.text();
 }
 
+TEST(InvariantCheckerTest, FlagsPhantomDegradedFlow) {
+  auto runner = run_tiny();
+  // A degraded count with no matching flow breaks the generalized
+  // conservation identity (delivered + degraded + dropped == seen).
+  ++runner->network().metrics().flows_degraded;
+  const core::InvariantReport report =
+      core::check_invariants(runner->network());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.text().find("flow conservation"), std::string::npos)
+      << report.text();
+}
+
+TEST(InvariantCheckerTest, FlagsDroppedFlowInLazyCtrl) {
+  auto runner = run_tiny();
+  // LazyCtrl never drops: an exhausted punt must degrade to flooding, so
+  // a non-zero drop count is a bug even if conservation still balances.
+  core::RunMetrics& m = runner->network().metrics();
+  ++m.flows_seen;
+  ++m.flows_dropped;
+  const core::InvariantReport report =
+      core::check_invariants(runner->network());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.text().find("degrade"), std::string::npos)
+      << report.text();
+}
+
+TEST(InvariantCheckerTest, FlagsAdmissionDropMismatch) {
+  auto runner = run_tiny();
+  // The RunMetrics counter must stay in lockstep with the controller's
+  // own admission_drops() — a divergence means an unaccounted reject.
+  ++runner->network().metrics().ctrl_admission_drops;
+  const core::InvariantReport report =
+      core::check_invariants(runner->network());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.text().find("admission"), std::string::npos)
+      << report.text();
+}
+
 TEST(InvariantCheckerTest, FlagsRuleLeakedPastTenantDeparture) {
   auto runner = run_tiny();
   core::Network& net = runner->network();

@@ -274,7 +274,7 @@ TEST(MetricsXMacroTest, FieldCountsMatchDeclaredLists) {
   // runtime check documents the expected counts so an accidental list
   // edit shows up as a test diff too.
   EXPECT_EQ(core::detail::kMetricsSeriesFields, 5u);
-  EXPECT_EQ(core::detail::kMetricsCounterFields, 21u);
+  EXPECT_EQ(core::detail::kMetricsCounterFields, 29u);
   EXPECT_EQ(core::detail::kMetricsStatsFields, 2u);
 
   std::size_t counters = 0;

@@ -49,6 +49,12 @@ fib.layout = linear
 rules.rule_ttl = 90s
 failover = true
 controller.servers = 2
+ctrl.loss_rate = 0.05
+ctrl.dup_rate = 0.01
+ctrl.queue_cap = 8
+ctrl.punt_retry_limit = 4
+ctrl.punt_retry_base = 3ms
+ctrl.reconcile_period = 5m
 latency.control_link = 250us
 
 [events]
@@ -58,6 +64,10 @@ at=10m controller_outage duration=20s
 at=12m migration_burst hosts=5 spread=30s
 at=15m traffic_surge factor=2.5 duration=5m
 at=20m force_regroup
+at=21m set_control_loss rate=0.1
+at=22m set_control_dup rate=0.02
+at=23m set_ctrl_queue_cap cap=16
+at=24m reconcile
 )";
 
 TEST(ScenarioSpecTest, ParsesFullSpec) {
@@ -82,9 +92,15 @@ TEST(ScenarioSpecTest, ParsesFullSpec) {
   EXPECT_EQ(s.config.rules.rule_ttl, 90 * kSecond);
   EXPECT_TRUE(s.config.failover_enabled);
   EXPECT_EQ(s.config.controller.servers, 2u);
+  EXPECT_DOUBLE_EQ(s.config.controller.loss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(s.config.controller.dup_rate, 0.01);
+  EXPECT_EQ(s.config.controller.queue_cap, 8u);
+  EXPECT_EQ(s.config.controller.punt_retry_limit, 4u);
+  EXPECT_EQ(s.config.controller.punt_retry_base, 3 * kMillisecond);
+  EXPECT_EQ(s.config.controller.reconcile_period, 5 * kMinute);
   EXPECT_EQ(s.config.latency.control_link, 250 * kMicrosecond);
 
-  ASSERT_EQ(s.events.size(), 6u);
+  ASSERT_EQ(s.events.size(), 10u);
   EXPECT_EQ(s.events[0].kind, EventKind::kFailSwitch);
   EXPECT_EQ(s.events[0].at, 5 * kMinute);
   EXPECT_EQ(s.events[0].sw, 3u);
@@ -96,6 +112,31 @@ TEST(ScenarioSpecTest, ParsesFullSpec) {
   EXPECT_EQ(s.events[4].kind, EventKind::kTrafficSurge);
   EXPECT_DOUBLE_EQ(s.events[4].factor, 2.5);
   EXPECT_EQ(s.events[5].kind, EventKind::kForceRegroup);
+  EXPECT_EQ(s.events[6].kind, EventKind::kSetControlLoss);
+  EXPECT_DOUBLE_EQ(s.events[6].rate, 0.1);
+  EXPECT_EQ(s.events[7].kind, EventKind::kSetControlDup);
+  EXPECT_DOUBLE_EQ(s.events[7].rate, 0.02);
+  EXPECT_EQ(s.events[8].kind, EventKind::kSetCtrlQueueCap);
+  EXPECT_EQ(s.events[8].cap, 16u);
+  EXPECT_EQ(s.events[9].kind, EventKind::kReconcile);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedControlFaultParameters) {
+  const std::string text =
+      "[config]\n"                          // 1
+      "ctrl.loss_rate = 1.5\n"              // 2: probability > 1
+      "[events]\n"                          // 3
+      "at=1m set_control_loss rate=-0.1\n"  // 4: negative probability
+      "at=2m set_control_loss\n"            // 5: missing rate=
+      "at=3m set_ctrl_queue_cap\n";         // 6: missing cap=
+  const ParseResult r = parse_scenario(text);
+  ASSERT_EQ(r.errors.size(), 4u) << r.error_text();
+  EXPECT_EQ(r.errors[0].line, 2);
+  EXPECT_EQ(r.errors[1].line, 4);
+  EXPECT_EQ(r.errors[2].line, 5);
+  EXPECT_NE(r.errors[2].message.find("requires rate="), std::string::npos);
+  EXPECT_EQ(r.errors[3].line, 6);
+  EXPECT_NE(r.errors[3].message.find("requires cap="), std::string::npos);
 }
 
 TEST(ScenarioSpecTest, UnknownKeyReportsLineNumber) {
@@ -376,6 +417,90 @@ TEST(ScenarioRunnerTest, ShardedDeterministicReplayIsBitIdentical) {
   const auto dual = run_spec(sharded);
 
   EXPECT_TRUE(single->metrics().identical_to(dual->metrics()));
+}
+
+TEST(ScenarioRunnerTest, LossyControlPlaneIsBitIdenticalAcrossRepsAndShards) {
+  // Fault decisions are keyed on splitmix64(flow id), never the run RNG,
+  // so a lossy run must replay bit-identically rep to rep AND across
+  // shard counts.
+  ScenarioSpec spec = runner_spec();
+  std::string err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.loss_rate=0.1", &err)) << err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.dup_rate=0.02", &err)) << err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.queue_cap=4", &err)) << err;
+  const auto a = run_spec(spec);
+  const auto b = run_spec(spec);
+  EXPECT_TRUE(a->metrics().identical_to(b->metrics()))
+      << a->metrics().diff_report(b->metrics());
+
+  ScenarioSpec sharded = spec;
+  ASSERT_TRUE(apply_override(sharded, "config.runtime.num_shards=2", &err))
+      << err;
+  ASSERT_TRUE(
+      apply_override(sharded, "config.runtime.mode=deterministic", &err))
+      << err;
+  const auto dual = run_spec(sharded);
+  EXPECT_TRUE(a->metrics().identical_to(dual->metrics()))
+      << a->metrics().diff_report(dual->metrics());
+
+  // The faults actually fired.
+  EXPECT_GT(a->metrics().ctrl_msgs_lost, 0u);
+  EXPECT_GT(a->metrics().punt_retries, 0u);
+}
+
+TEST(ScenarioRunnerTest, ExhaustedPuntsDegradeToFloodingInLazyCtrl) {
+  // At 95% loss almost every punt exhausts its retry budget; LazyCtrl
+  // must fall back to §III-D intra-group flooding, never drop.
+  ScenarioSpec spec = runner_spec();
+  std::string err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.loss_rate=0.95", &err)) << err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.punt_retry_limit=1", &err))
+      << err;
+  const auto runner = run_spec(spec);
+  const core::RunMetrics& m = runner->metrics();
+  EXPECT_GT(m.flows_degraded, 0u);
+  EXPECT_GT(m.punt_timeouts, 0u);
+  EXPECT_EQ(m.flows_dropped, 0u);
+  // Conservation: every flow is still accounted for.
+  EXPECT_EQ(m.flows_seen, m.flows_flow_table_hit + m.flows_local_delivery +
+                              m.flows_intra_group + m.flows_inter_group +
+                              m.transition_punts + m.flows_degraded);
+}
+
+TEST(ScenarioRunnerTest, ExhaustedPuntsDropInOpenFlow) {
+  // The OpenFlow baseline has no flooding fallback: an exhausted punt is
+  // a dropped flow.
+  ScenarioSpec spec = runner_spec();
+  spec.config.failover_enabled = false;
+  spec.events.clear();
+  std::string err;
+  ASSERT_TRUE(apply_override(spec, "config.mode=openflow", &err)) << err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.loss_rate=0.95", &err)) << err;
+  ASSERT_TRUE(apply_override(spec, "config.ctrl.punt_retry_limit=0", &err))
+      << err;
+  const auto runner = run_spec(spec);
+  const core::RunMetrics& m = runner->metrics();
+  EXPECT_GT(m.flows_dropped, 0u);
+  EXPECT_EQ(m.flows_degraded, 0u);
+  EXPECT_EQ(m.flows_seen, m.flows_flow_table_hit + m.controller_packet_ins +
+                              m.flows_dropped);
+}
+
+TEST(ScenarioRunnerTest, ReconcileEventAppliesInLazyCtrlOnly) {
+  ScenarioSpec spec = runner_spec();
+  spec.events.clear();
+  spec.events.push_back({.at = 10 * kMinute, .kind = EventKind::kReconcile});
+  const auto lazy = run_spec(spec);
+  EXPECT_EQ(lazy->event_counts().applied, 1u);
+
+  ScenarioSpec open = spec;
+  open.config.failover_enabled = false;
+  std::string err;
+  ASSERT_TRUE(apply_override(open, "config.mode=openflow", &err)) << err;
+  const auto base = run_spec(open);
+  // No G-FIB/L-FIB to audit in the baseline: the event is a skip.
+  EXPECT_EQ(base->event_counts().applied, 0u);
+  EXPECT_EQ(base->event_counts().skipped, 1u);
 }
 
 TEST(ScenarioRunnerTest, DormantTenantSendsNoFlowsBeforeArrival) {

@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
     }
     if (cat->string == "flowlat") {
       static const std::set<std::string> kFlowStages = {
-          "edge", "punt_rtt", "ctrl_queue", "install", "e2e"};
+          "edge", "retry_backoff", "punt_rtt", "ctrl_queue", "install", "e2e"};
       if (ph->string != "X") {
         return fail(i, "flowlat event is not an \"X\" span");
       }

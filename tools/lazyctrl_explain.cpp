@@ -96,9 +96,10 @@ struct Breakdown {
 
 void print_breakdown(const Breakdown& b, const char* indent) {
   std::printf(
-      "%sedge %9.1f us | punt_rtt %9.1f us | ctrl_queue %9.1f us | "
-      "install %9.1f us | delivery %9.1f us\n",
+      "%sedge %9.1f us | retry %9.1f us | punt_rtt %9.1f us | "
+      "ctrl_queue %9.1f us | install %9.1f us | delivery %9.1f us\n",
       indent, to_us(b.stage(obs::FlowStage::kEdge)),
+      to_us(b.stage(obs::FlowStage::kRetryBackoff)),
       to_us(b.stage(obs::FlowStage::kPuntRtt)),
       to_us(b.stage(obs::FlowStage::kCtrlQueue)),
       to_us(b.stage(obs::FlowStage::kInstall)), to_us(b.delivery));
@@ -318,19 +319,21 @@ int main(int argc, char** argv) {
         std::min<std::size_t>(static_cast<std::size_t>(top_k),
                               samples.size());
     std::printf("\ntop %zu slowest sampled flows:\n", k);
-    std::printf("  %-10s %-19s %9s %10s %10s %10s %10s %10s %10s\n", "flow",
-                "path", "t_start s", "edge us", "punt us", "queue us",
-                "install us", "deliver us", "e2e us");
+    std::printf("  %-10s %-19s %9s %10s %10s %10s %10s %10s %10s %10s\n",
+                "flow", "path", "t_start s", "edge us", "retry us", "punt us",
+                "queue us", "install us", "deliver us", "e2e us");
     for (std::size_t i = 0; i < k; ++i) {
       const obs::FlowRecord& r = samples[i];
-      const SimDuration attributed = r.stages.edge + r.stages.punt_rtt +
-                                     r.stages.ctrl_queue + r.stages.install;
+      const SimDuration attributed = r.stages.edge + r.stages.retry_backoff +
+                                     r.stages.punt_rtt + r.stages.ctrl_queue +
+                                     r.stages.install;
       std::printf(
           "  %-10llu %-19s %9.1f %10.1f %10.1f %10.1f %10.1f %10.1f "
-          "%10.1f\n",
+          "%10.1f %10.1f\n",
           static_cast<unsigned long long>(r.flow_id),
           obs::flow_path_name(r.path), to_seconds(r.start),
           to_us(static_cast<double>(r.stages.edge)),
+          to_us(static_cast<double>(r.stages.retry_backoff)),
           to_us(static_cast<double>(r.stages.punt_rtt)),
           to_us(static_cast<double>(r.stages.ctrl_queue)),
           to_us(static_cast<double>(r.stages.install)),

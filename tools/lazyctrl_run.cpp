@@ -99,6 +99,11 @@ void report_run(const scenario::ScenarioRunner& runner,
                 "packets");
   report.metric("failover_detections",
                 d(runner.network().failover_event_count()), "events");
+  report.metric("flows_degraded", d(m.flows_degraded), "flows");
+  report.metric("flows_dropped", d(m.flows_dropped), "flows");
+  report.metric("punt_retries", d(m.punt_retries), "attempts");
+  report.metric("punt_timeouts", d(m.punt_timeouts), "flows");
+  report.metric("admission_drops", d(m.ctrl_admission_drops), "requests");
   report.metric("events_scheduled", d(counts.scheduled), "events");
   report.metric("events_applied", d(counts.applied), "events");
   report.metric("events_skipped", d(counts.skipped), "events");
