@@ -57,6 +57,10 @@ class Rng {
   /// Forks an independent stream; deterministic given this stream's state.
   Rng fork() noexcept;
 
+  /// Raw generator position, for checkpoint/restore (src/ckpt): a
+  /// generator rebuilt via Rng(state()) continues the exact sequence.
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

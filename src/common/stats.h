@@ -12,6 +12,10 @@
 
 namespace lazyctrl {
 
+namespace ckpt {
+class StateAccess;  // snapshot codec (src/ckpt): sole private-state reader
+}
+
 /// Online mean/min/max/variance accumulator (Welford's algorithm).
 class RunningStats {
  public:
@@ -42,6 +46,8 @@ class RunningStats {
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
  private:
+  friend class ckpt::StateAccess;
+
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -123,6 +129,8 @@ class TimeBucketSeries {
   [[nodiscard]] std::string bucket_label_hours(std::size_t i) const;
 
  private:
+  friend class ckpt::StateAccess;
+
   struct Bucket {
     double sum = 0.0;
     std::uint64_t events = 0;

@@ -17,6 +17,10 @@
 #include "core/config.h"
 #include "core/sgi.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::core {
 
 /// One C-LIB record: where a host lives.
@@ -132,6 +136,10 @@ class CentralController {
   void set_grouping(Grouping g) { grouping_ = std::move(g); }
 
  private:
+  /// Snapshot codec (src/ckpt): serializes the C-LIB (sorted by MAC),
+  /// server free times and all window/outage counters verbatim.
+  friend class lazyctrl::ckpt::StateAccess;
+
   Config config_;
   std::unordered_map<MacAddress, ClibEntry> clib_;
 

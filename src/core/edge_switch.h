@@ -22,6 +22,10 @@
 #include "net/packet.h"
 #include "openflow/flow_table.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::core {
 
 class EdgeSwitch {
@@ -210,6 +214,11 @@ class EdgeSwitch {
       const ControllerConfig& ctrl, std::uint64_t seed) noexcept;
 
  private:
+  /// Snapshot codec (src/ckpt): restores the per-window advertisement
+  /// counters (window_flows_/window_touched_, in recorded order) that
+  /// have no public write path.
+  friend class lazyctrl::ckpt::StateAccess;
+
   SwitchId id_;
   IpAddress underlay_ip_;
   MacAddress management_mac_;

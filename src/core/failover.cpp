@@ -206,13 +206,27 @@ void FailureWheel::handle_detection(std::size_t index, FailureKind kind) {
                          "switch failure detected; outage announced in group; "
                          "remote reboot issued"});
       if (sw == designated_) reelect_designated(now);
-      simulator_->schedule_after(config_.switch_reboot_delay,
-                                 [this, sw] { recover_switch(sw); });
+      const sim::EventId reboot = simulator_->schedule_after(
+          config_.switch_reboot_delay, [this, sw] { finish_reboot(sw); });
+      pending_reboots_.emplace_back(reboot, sw);
       break;
     }
     case FailureKind::kNone:
       break;
   }
+}
+
+void FailureWheel::finish_reboot(SwitchId sw) {
+  // Reboots of one switch complete in scheduling order (constant delay),
+  // so the oldest matching entry is the one firing.
+  for (auto it = pending_reboots_.begin(); it != pending_reboots_.end();
+       ++it) {
+    if (it->second == sw) {
+      pending_reboots_.erase(it);
+      break;
+    }
+  }
+  recover_switch(sw);
 }
 
 void FailureWheel::tick() {

@@ -27,6 +27,10 @@
 #include "core/config.h"
 #include "sim/simulator.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::core {
 
 enum class FailureKind : std::uint8_t {
@@ -96,6 +100,11 @@ class FailureWheel {
   [[nodiscard]] SwitchId downstream_of(SwitchId sw) const;
 
  private:
+  /// Snapshot codec (src/ckpt): serializes the wheel verbatim, including
+  /// the pending keep-alive timer and reboot one-shots (by exact
+  /// simulator tuple), and rebuilds it on restore.
+  friend class lazyctrl::ckpt::StateAccess;
+
   struct MemberState {
     bool up = true;
     bool control_link_up = true;
@@ -109,6 +118,9 @@ class FailureWheel {
   void tick();
   void handle_detection(std::size_t index, FailureKind kind);
   void reelect_designated(SimTime now);
+  /// Fires when a remote reboot completes: retires its pending_reboots_
+  /// entry, then recover_switch().
+  void finish_reboot(SwitchId sw);
   std::size_t index_of(SwitchId sw) const;
 
   sim::Simulator* simulator_;
@@ -126,6 +138,10 @@ class FailureWheel {
   /// Consecutive missed keep-alives per (subject, kind); detection fires
   /// after `keepalive_loss_threshold` misses.
   std::unordered_map<std::uint64_t, int> miss_counts_;
+  /// In-flight remote reboots (§III-E3), oldest first, keyed by the
+  /// scheduled one-shot's event id so a checkpoint can classify — and a
+  /// restore re-attach — them.
+  std::vector<std::pair<sim::EventId, SwitchId>> pending_reboots_;
 };
 
 }  // namespace lazyctrl::core

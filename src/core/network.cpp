@@ -1292,12 +1292,7 @@ Network::ReplayTimers Network::begin_replay(const workload::Trace& trace) {
   timers.window = simulator_.schedule_periodic(
       config_.grouping.stats_window, [this] { roll_stats_window(); });
   timers.report = simulator_.schedule_periodic(
-      config_.state_report_period, [this] {
-        if (config_.mode == ControlMode::kLazyCtrl) {
-          metrics_->state_link_messages +=
-              controller_.grouping().group_count;
-        }
-      });
+      config_.state_report_period, [this] { state_report_tick(); });
   if (dgm_) {
     timers.dgm = simulator_.schedule_periodic(
         config_.dgm.maintenance_period, [this] { run_dgm_maintenance(); });
@@ -1307,12 +1302,22 @@ Network::ReplayTimers Network::begin_replay(const workload::Trace& trace) {
         config_.controller.reconcile_period, [this] { reconcile_state(); });
   }
 
-  // Migrations.
-  for (const PendingMigration& m : pending_migrations_) {
-    simulator_.schedule_at(
-        m.at, [this, m] { perform_migration(m.host, m.to); });
+  // Migrations. The scheduled id is recorded so a checkpoint can match
+  // the pending one-shot back to its migration.
+  for (PendingMigration& m : pending_migrations_) {
+    m.event = simulator_.schedule_at(
+        m.at, [this, host = m.host, to = m.to] {
+          perform_migration(host, to);
+        });
   }
+  replay_timers_ = timers;
   return timers;
+}
+
+void Network::state_report_tick() {
+  if (config_.mode == ControlMode::kLazyCtrl) {
+    metrics_->state_link_messages += controller_.grouping().group_count;
+  }
 }
 
 void Network::end_replay(const ReplayTimers& timers) {
@@ -1338,41 +1343,57 @@ void Network::replay(const workload::Trace& trace) {
   // batch is fenced by the next pending control-plane event so results
   // match single-flow injection exactly.
   if (!trace.flows.empty()) {
-    const std::vector<workload::Flow>* flows = &trace.flows;
-    const std::size_t batch_size = config_.batching.flow_batch_size;
-    sim::CursorStep step;
-    if (batch_size <= 1) {
-      step = [this, flows](std::size_t i)
-          -> std::optional<std::pair<std::size_t, SimTime>> {
-        on_flow((*flows)[i]);
-        if (i + 1 >= flows->size()) return std::nullopt;
-        return {{i + 1, (*flows)[i + 1].start}};
-      };
-    } else {
-      if (!batch_) batch_ = std::make_unique<BatchScratch>();
-      step = [this, flows, batch_size](std::size_t i)
-          -> std::optional<std::pair<std::size_t, SimTime>> {
-        // The event for flow i has already fired, so i is always safe to
-        // process. Later flows join the batch only while they start
-        // strictly before the next pending event: at a timestamp tie the
-        // sequential datapath would run that event first.
-        const SimTime fence = simulator_.next_event_time();
-        const std::size_t cap = std::min(flows->size(), i + batch_size);
-        std::size_t batch_end = i + 1;
-        while (batch_end < cap && (*flows)[batch_end].start < fence) {
-          ++batch_end;
-        }
-        on_flow_batch(*flows, i, batch_end);
-        if (batch_end >= flows->size()) return std::nullopt;
-        return {{batch_end, (*flows)[batch_end].start}};
-      };
-    }
     sim::schedule_cursor_chain(simulator_, trace.flows.front().start,
-                               std::move(step));
+                               flow_cursor_step(&trace.flows), &cursor_);
   }
 
   simulator_.run_until(trace.horizon);
   end_replay(timers);
+}
+
+sim::CursorStep Network::flow_cursor_step(
+    const std::vector<workload::Flow>* flows) {
+  const std::size_t batch_size = config_.batching.flow_batch_size;
+  if (batch_size <= 1) {
+    return [this, flows](std::size_t i)
+        -> std::optional<std::pair<std::size_t, SimTime>> {
+      on_flow((*flows)[i]);
+      if (i + 1 >= flows->size()) return std::nullopt;
+      return {{i + 1, (*flows)[i + 1].start}};
+    };
+  }
+  if (!batch_) batch_ = std::make_unique<BatchScratch>();
+  return [this, flows, batch_size](std::size_t i)
+      -> std::optional<std::pair<std::size_t, SimTime>> {
+    // The event for flow i has already fired, so i is always safe to
+    // process. Later flows join the batch only while they start
+    // strictly before the next pending event: at a timestamp tie the
+    // sequential datapath would run that event first.
+    const SimTime fence = simulator_.next_event_time();
+    const std::size_t cap = std::min(flows->size(), i + batch_size);
+    std::size_t batch_end = i + 1;
+    while (batch_end < cap && (*flows)[batch_end].start < fence) {
+      ++batch_end;
+    }
+    on_flow_batch(*flows, i, batch_end);
+    if (batch_end >= flows->size()) return std::nullopt;
+    return {{batch_end, (*flows)[batch_end].start}};
+  };
+}
+
+void Network::resume_replay(const workload::Trace& trace,
+                            const ResumeCursor& rc) {
+  if (config_.runtime.num_shards > 1) {
+    runtime::ShardedRuntime sharded(*this);
+    sharded.resume(trace, rc);
+    return;
+  }
+  if (rc.active) {
+    sim::resume_cursor_chain(simulator_, rc.at, rc.seq, rc.id, rc.index,
+                             flow_cursor_step(&trace.flows), &cursor_);
+  }
+  simulator_.run_until(trace.horizon);
+  end_replay(replay_timers_);
 }
 
 HostId Network::add_silent_host(TenantId tenant, SwitchId sw) {

@@ -41,6 +41,10 @@ namespace lazyctrl::runtime {
 class ShardedRuntime;
 }
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::obs {
 class Registry;
 }
@@ -72,6 +76,24 @@ class Network : private dgm::GroupingHost {
   /// sharded parallel runtime (src/runtime); in its deterministic mode the
   /// resulting metrics are bit-identical to the single-threaded path.
   void replay(const workload::Trace& trace);
+
+  /// Where a checkpointed flow-cursor chain should pick up again; built
+  /// by ckpt::StateAccess from a snapshot's pending-event table and held
+  /// by a restored ScenarioRunner until finish() re-creates the chain.
+  struct ResumeCursor {
+    bool active = false;  ///< false: the chain had already finished
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    sim::EventId id = 0;
+    std::size_t index = 0;
+  };
+
+  /// Runs a checkpoint-restored replay to the trace horizon. Every timer
+  /// and migration callback has already been re-attached by the restorer
+  /// (ckpt::StateAccess); this re-creates the flow-injection chain
+  /// (single-threaded or sharded) under its exact snapshot tuple and
+  /// drives the simulator. `rc` is the cursor the restorer recorded.
+  void resume_replay(const workload::Trace& trace, const ResumeCursor& rc);
 
   /// Schedules a VM migration during replay (must be called before replay).
   void schedule_migration(HostId host, SwitchId to, SimTime at);
@@ -274,6 +296,12 @@ class Network : private dgm::GroupingHost {
   /// run. The class lives entirely inside invariants.cpp.
   friend class InvariantChecker;
 
+  /// The snapshot codec (src/ckpt): serializes the full run state at a
+  /// scenario-event fence (in-flight ≡ 0) and rebuilds it on resume,
+  /// re-attaching the pending timer/migration/cursor callbacks under
+  /// their exact (time, seq, id) tuples.
+  friend class lazyctrl::ckpt::StateAccess;
+
   struct PathDelays {
     SimDuration local;  ///< host -> switch -> host, same switch
     SimDuration cross;  ///< host -> switch -> underlay -> switch -> host
@@ -335,8 +363,17 @@ class Network : private dgm::GroupingHost {
   };
   /// Re-buckets metrics to the trace horizon and schedules the periodic
   /// machinery (stats windows, state reports, DGM rounds, migrations).
+  /// Also records the timer ids in `replay_timers_` so a checkpoint can
+  /// classify the pending queue.
   ReplayTimers begin_replay(const workload::Trace& trace);
   void end_replay(const ReplayTimers& timers);
+
+  /// The flow-injection cursor step of the single-threaded replay
+  /// (per-flow or batched, per config.batching.flow_batch_size). Shared
+  /// by replay() and the checkpoint-resume path so both drive the exact
+  /// same datapath. `flows` must outlive the chain.
+  [[nodiscard]] sim::CursorStep flow_cursor_step(
+      const std::vector<workload::Flow>* flows);
 
   void on_flow(const workload::Flow& flow);
   /// Batched datapath: handles trace flows [begin, end) inside ONE
@@ -460,6 +497,10 @@ class Network : private dgm::GroupingHost {
   }
   void perform_migration(HostId host, SwitchId to);
   void roll_stats_window();
+  /// Body of the periodic state-report timer (begin_replay), shared with
+  /// the checkpoint restorer so the re-attached periodic runs the exact
+  /// same code.
+  void state_report_tick();
 
   // dgm::GroupingHost (the seam the MigrationExecutor commits through).
   [[nodiscard]] const Grouping& current_grouping() const override {
@@ -495,8 +536,21 @@ class Network : private dgm::GroupingHost {
     HostId host;
     SwitchId to;
     SimTime at;
+    /// Simulator event id once begin_replay() scheduled it (0 before);
+    /// lets a checkpoint classify and a restore re-attach the one-shot.
+    sim::EventId event = 0;
   };
   std::vector<PendingMigration> pending_migrations_;
+
+  /// Timer ids of the current replay (valid once begin_replay() ran);
+  /// read by the snapshot codec to classify pending periodic events.
+  ReplayTimers replay_timers_;
+
+  /// Live position of the flow-injection cursor chain (sequential,
+  /// batched and sharded replays all publish through it), so a snapshot
+  /// can describe — and a restore re-create — the chain's single pending
+  /// event.
+  sim::CursorTracker cursor_;
 
   /// Reusable zero-allocation working set of the batched datapath
   /// (allocated once when replay() runs with flow_batch_size > 1).

@@ -16,6 +16,10 @@
 #include "core/sgi.h"
 #include "dgm/traffic_monitor.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::dgm {
 
 enum class DriftKind : std::uint8_t {
@@ -65,6 +69,8 @@ class DriftDetector {
   }
 
  private:
+  friend class lazyctrl::ckpt::StateAccess;  // snapshot codec (src/ckpt)
+
   core::DgmConfig config_;
   double baseline_fraction_ = -1.0;
   SimTime last_regroup_at_ = -1;

@@ -19,6 +19,10 @@
 #include "dgm/regrouper.h"
 #include "dgm/traffic_monitor.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::dgm {
 
 struct MaintenanceRound {
@@ -67,6 +71,10 @@ class Maintainer {
   }
 
  private:
+  /// Snapshot codec (src/ckpt): restores the rng stream position, the
+  /// round history/stats, the cooldown clock and the detector baseline.
+  friend class lazyctrl::ckpt::StateAccess;
+
   core::DgmConfig config_;
   std::size_t group_size_limit_;
   GroupingHost* host_;

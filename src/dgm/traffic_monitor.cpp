@@ -1,6 +1,7 @@
 #include "dgm/traffic_monitor.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace lazyctrl::dgm {
 
@@ -10,6 +11,20 @@ std::uint64_t pair_key(SwitchId a, SwitchId b) {
   std::uint32_t lo = a.value(), hi = b.value();
   if (lo > hi) std::swap(lo, hi);
   return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Keys of an unordered pair map in ascending order. Every consumption
+/// site that sums doubles or emits edges walks keys through this, so the
+/// result is independent of the hash map's bucket order — a requirement
+/// of checkpoint/restore (a rebuilt map has a different insertion
+/// history, hence a different iteration order).
+template <typename Map>
+std::vector<std::uint64_t> sorted_keys(const Map& m) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [key, value] : m) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace
@@ -30,9 +45,10 @@ void TrafficMonitor::roll_window() {
   const double decay = options_.ewma_decay;
   for (auto& [key, value] : ewma_) value *= decay;
   flow_mass_ *= decay;
-  for (const auto& [key, count] : window_) {
-    ewma_[key] += static_cast<double>(count);
-    flow_mass_ += static_cast<double>(count);
+  for (const std::uint64_t key : sorted_keys(window_)) {
+    const auto count = static_cast<double>(window_.at(key));
+    ewma_[key] += count;
+    flow_mass_ += count;
   }
   window_.clear();
   std::erase_if(ewma_, [this](const auto& kv) {
@@ -43,10 +59,10 @@ void TrafficMonitor::roll_window() {
 graph::WeightedGraph TrafficMonitor::intensity_graph() const {
   graph::WeightedGraph g(switch_count_);
   const double window_sec = to_seconds(options_.window);
-  for (const auto& [key, count] : ewma_) {
+  for (const std::uint64_t key : sorted_keys(ewma_)) {
     const auto hi = static_cast<graph::VertexId>(key >> 32);
     const auto lo = static_cast<graph::VertexId>(key & 0xFFFFFFFF);
-    g.add_edge(lo, hi, count / window_sec);
+    g.add_edge(lo, hi, ewma_.at(key) / window_sec);
   }
   return g;
 }
@@ -54,13 +70,14 @@ graph::WeightedGraph TrafficMonitor::intensity_graph() const {
 TrafficMonitor::TrafficSplit TrafficMonitor::split(
     const core::Grouping& grouping) const {
   TrafficSplit s;
-  for (const auto& [key, count] : ewma_) {
+  for (const std::uint64_t key : sorted_keys(ewma_)) {
     const auto hi = static_cast<std::uint32_t>(key >> 32);
     const auto lo = static_cast<std::uint32_t>(key & 0xFFFFFFFF);
     if (hi >= grouping.switch_to_group.size() ||
         lo >= grouping.switch_to_group.size()) {
       continue;
     }
+    const double count = ewma_.at(key);
     if (grouping.switch_to_group[lo] == grouping.switch_to_group[hi]) {
       s.intra += count;
     } else {

@@ -17,6 +17,10 @@
 #include "core/sgi.h"
 #include "graph/weighted_graph.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::dgm {
 
 struct TrafficMonitorOptions {
@@ -78,6 +82,11 @@ class TrafficMonitor {
   void reset();
 
  private:
+  /// Snapshot codec (src/ckpt): serializes ewma_/window_/flow_mass_ in
+  /// sorted-key order and restores them verbatim. All consumption sites
+  /// iterate sorted keys, so a rebuilt map's bucket order is invisible.
+  friend class lazyctrl::ckpt::StateAccess;
+
   std::size_t switch_count_;
   TrafficMonitorOptions options_;
   /// Unordered-pair key -> decayed flow-count estimate.

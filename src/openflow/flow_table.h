@@ -19,6 +19,10 @@
 #include "common/time.h"
 #include "net/packet.h"
 
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
+
 namespace lazyctrl::openflow {
 
 struct Match {
@@ -101,6 +105,12 @@ class FlowTable {
   [[nodiscard]] std::uint64_t total_matches() const noexcept;
 
  private:
+  /// Snapshot codec (src/ckpt): restores rules_ (in stored order — the
+  /// eviction tie-break depends on it), capacity_, evictions_ and
+  /// next_expiry_ verbatim, then marks the index dirty so the first
+  /// lookup rebuilds it.
+  friend class lazyctrl::ckpt::StateAccess;
+
   static constexpr std::uint32_t kNoPosition =
       std::numeric_limits<std::uint32_t>::max();
 

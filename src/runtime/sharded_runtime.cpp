@@ -148,25 +148,62 @@ void ShardedRuntime::replay(const workload::Trace& trace) {
   // sequential datapath would run that event first) and within the
   // bounded-lag window of the span head.
   if (!trace.flows.empty()) {
-    const std::vector<workload::Flow>* flows = &trace.flows;
-    sim::schedule_cursor_chain(
-        net_.simulator_, trace.flows.front().start,
-        [this, flows](std::size_t i)
-            -> std::optional<std::pair<std::size_t, SimTime>> {
-          const SimTime fence = net_.simulator_.next_event_time();
-          const SimTime head = (*flows)[i].start;
-          std::size_t end = i + 1;
-          while (end < flows->size() && end - i < kMaxSpanFlows) {
-            const SimTime t = (*flows)[end].start;
-            if (t >= fence || t - head >= sync_window_) break;
-            ++end;
-          }
-          process_span(*flows, i, end);
-          if (end >= flows->size()) return std::nullopt;
-          return {{end, (*flows)[end].start}};
-        });
+    sim::schedule_cursor_chain(net_.simulator_, trace.flows.front().start,
+                               span_cursor_step(&trace.flows),
+                               &net_.cursor_);
   }
 
+  run_to_horizon(trace, timers);
+}
+
+void ShardedRuntime::resume(const workload::Trace& trace,
+                            const core::Network::ResumeCursor& rc) {
+  assert(!replayed_ && "a ShardedRuntime drives one replay");
+  replayed_ = true;
+
+  const core::Config& cfg = net_.config_;
+  fast_ = cfg.runtime.mode == core::RuntimeMode::kFast;
+  assert(!fast_ &&
+         "checkpoint resume is deterministic-mode only (gated upstream)");
+  sync_window_ = cfg.runtime.sync_window > 0
+                     ? cfg.runtime.sync_window
+                     : 2 * cfg.latency.control_link +
+                           cfg.latency.controller_service;
+
+  // No begin_replay(): the restorer already rebuilt the metrics storage
+  // and re-attached every periodic timer and migration one-shot under
+  // its exact snapshot tuple. Only the span chain is ours to re-create.
+  refresh_plan();
+  spawn_workers();
+  if (rc.active) {
+    sim::resume_cursor_chain(net_.simulator_, rc.at, rc.seq, rc.id,
+                             rc.index, span_cursor_step(&trace.flows),
+                             &net_.cursor_);
+  }
+  run_to_horizon(trace, net_.replay_timers_);
+}
+
+sim::CursorStep ShardedRuntime::span_cursor_step(
+    const std::vector<workload::Flow>* flows) {
+  return [this, flows](std::size_t i)
+      -> std::optional<std::pair<std::size_t, SimTime>> {
+    const SimTime fence = net_.simulator_.next_event_time();
+    const SimTime head = (*flows)[i].start;
+    std::size_t end = i + 1;
+    while (end < flows->size() && end - i < kMaxSpanFlows) {
+      const SimTime t = (*flows)[end].start;
+      if (t >= fence || t - head >= sync_window_) break;
+      ++end;
+    }
+    process_span(*flows, i, end);
+    if (end >= flows->size()) return std::nullopt;
+    return {{end, (*flows)[end].start}};
+  };
+}
+
+void ShardedRuntime::run_to_horizon(
+    const workload::Trace& trace,
+    const core::Network::ReplayTimers& timers) {
   net_.simulator_.run_until(trace.horizon);
   net_.end_replay(timers);
   stop_workers();

@@ -76,6 +76,15 @@ class ShardedRuntime {
   /// in the network's RunMetrics as usual. May be called once.
   void replay(const workload::Trace& trace);
 
+  /// Continues a checkpoint-restored replay (src/ckpt): every timer and
+  /// migration has already been re-attached and the simulator clock and
+  /// counters restored, so this skips begin_replay(), re-creates the
+  /// span-injection chain under its exact snapshot tuple (`rc`) and
+  /// drives the simulator to the horizon. Deterministic mode only — the
+  /// fast mode's shard-local metrics are not checkpointable.
+  void resume(const workload::Trace& trace,
+              const core::Network::ResumeCursor& rc);
+
   struct Stats {
     std::uint64_t spans = 0;             ///< window spans processed
     std::uint64_t flows = 0;             ///< flows routed through spans
@@ -125,6 +134,16 @@ class ShardedRuntime {
   void spawn_workers();
   void stop_workers();
   void worker_main(std::size_t shard_idx);
+
+  /// The bounded-lag span-injection cursor step (shared by replay() and
+  /// resume(); see the comment at its schedule site in replay()).
+  [[nodiscard]] sim::CursorStep span_cursor_step(
+      const std::vector<workload::Flow>* flows);
+  /// Common tail of replay()/resume(): drive the simulator to the trace
+  /// horizon, release the periodic machinery, stop workers, fold
+  /// fast-mode shard metrics and publish runtime observability stats.
+  void run_to_horizon(const workload::Trace& trace,
+                      const core::Network::ReplayTimers& timers);
 
   /// Rebuilds the switch->shard plan from the live grouping when the
   /// grouping epoch moved (span boundaries only).

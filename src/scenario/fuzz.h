@@ -11,13 +11,20 @@
 // semantic validation (property-tested over 200 seeds in
 // tests/fuzz_test.cpp).
 //
-// run_scenario_with_checks() is the fuzzing oracle: one run with the
-// conservation-invariant checker (core/invariants.h) evaluated at every
-// event fence and at end of run, then a second run whose RunMetrics must
-// be bit-identical to the first (the determinism contract). Any
-// violation or divergence fails the seed; tools/lazyctrl_fuzz then
+// run_scenario_with_checks() is the fuzzing oracle — three runs:
+//   1. an invariant-checked run (core/invariants.h evaluated at every
+//      event fence and at end of run),
+//   2. a rerun carrying a checkpoint fence at a deterministically drawn
+//      sim time, whose RunMetrics must be bit-identical to run 1 (the
+//      determinism contract AND the fence-neutrality contract at once),
+//   3. a resume: the snapshot from run 2 is restored into a fresh runner
+//      (src/ckpt rebuilds everything from the serialized bytes alone),
+//      finished with invariant checks on, and its final RunMetrics must
+//      be bit-identical to run 2's.
+// Any violation or divergence fails the seed; tools/lazyctrl_fuzz then
 // shrinks the spec with shrink_scenario() and serializes the minimal
-// repro as a `.scn` fit for examples/scenarios/regressions/.
+// repro as a `.scn` fit for examples/scenarios/regressions/, alongside
+// the shrunk run's snapshot when one was taken.
 #pragma once
 
 #include <cstdint>
@@ -47,17 +54,26 @@ struct FuzzOptions {
 struct FuzzRunResult {
   bool valid = false;          ///< spec passed the runner's validation
   bool deterministic = false;  ///< rerun RunMetrics were bit-identical
-  std::vector<std::string> violations;  ///< invariant violations
+  bool resumable = false;      ///< checkpoint/restore round trip finished
+                               ///< bit-identical to the rerun
+  std::vector<std::string> violations;  ///< invariant violations (both
+                                        ///< runs 1 and 3 contribute)
   std::string error;  ///< validation error or determinism diff
+  std::string resume_error;  ///< why the resume oracle failed ("" if not run)
+  /// The snapshot the resume oracle exercised (empty when the rerun
+  /// failed before the fence) and the sim time it was taken at.
+  std::vector<std::uint8_t> snapshot;
+  SimTime snapshot_at = 0;
 
   [[nodiscard]] bool ok() const noexcept {
-    return valid && deterministic && violations.empty();
+    return valid && deterministic && resumable && violations.empty();
   }
   /// Multi-line human-readable failure summary ("" when ok()).
   [[nodiscard]] std::string failure_text() const;
 };
 
-/// Runs `spec` twice (invariant-checked run + bit-identity rerun).
+/// Runs `spec` through all three oracles (invariant-checked run,
+/// checkpointed bit-identity rerun, restore-and-finish resume).
 [[nodiscard]] FuzzRunResult run_scenario_with_checks(
     const ScenarioSpec& spec);
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "core/invariants.h"
 #include "obs/flow_latency.h"
@@ -291,6 +292,13 @@ void ScenarioRunner::schedule_migration_burst(const ScenarioEvent& ev,
 void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
   bool applied = false;
   switch (ev.kind) {
+    case EventKind::kCheckpoint:
+      // The snapshot is taken at the END of this function (after the
+      // counters, the backlog-peak rebase and the invariant check), so
+      // it records the state exactly as the uninterrupted run carries it
+      // past this fence.
+      applied = true;
+      break;
     case EventKind::kFailSwitch:
       applied = net_->inject_switch_failure(SwitchId{ev.sw});
       break;
@@ -363,6 +371,26 @@ void ScenarioRunner::apply_event(const ScenarioEvent& ev) {
                             format_duration(net_->simulator().now()),
                         /*end_of_run=*/false);
   }
+  if (ev.kind == EventKind::kCheckpoint) take_checkpoint();
+}
+
+void ScenarioRunner::take_checkpoint() {
+  Snapshot snap;
+  snap.at = net_->simulator().now();
+  std::string err;
+  if (ckpt::StateAccess::save(*this, next_snapshot_index_, &snap.bytes,
+                              &err)) {
+    ++next_snapshot_index_;
+  } else {
+    snap.bytes.clear();
+    snap.error = std::move(err);
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+void ScenarioRunner::add_checkpoint_times(std::vector<SimTime> times) {
+  assert(!ran_ && "add_checkpoint_times must precede run()");
+  extra_checkpoint_times_ = std::move(times);
 }
 
 void ScenarioRunner::run_invariant_check(const std::string& where,
@@ -423,6 +451,7 @@ bool ScenarioRunner::run(std::string* error) {
   // consumed; migration bursts expand into scheduled migrations here;
   // the rest become simulator events fired through the Network's
   // scenario seams, fenced between replay spans like any control event.
+  script_event_ids_.assign(spec_.events.size(), 0);
   for (std::size_t i = 0; i < spec_.events.size(); ++i) {
     const ScenarioEvent& ev = spec_.events[i];
     if (ev.kind == EventKind::kTrafficSurge) continue;
@@ -431,24 +460,59 @@ bool ScenarioRunner::run(std::string* error) {
       continue;
     }
     ++counts_.scheduled;
-    net_->simulator().schedule_at(
+    script_event_ids_[i] = net_->simulator().schedule_at(
         ev.at, [this, i] { apply_event(spec_.events[i]); });
+  }
+  // --checkpoint-every fences, scheduled after the script so a same-time
+  // script event commits before the snapshot records it.
+  extra_event_ids_.assign(extra_checkpoint_times_.size(), 0);
+  for (std::size_t i = 0; i < extra_checkpoint_times_.size(); ++i) {
+    extra_event_ids_[i] = net_->simulator().schedule_at(
+        extra_checkpoint_times_[i], [this] { take_checkpoint(); });
   }
 
   net_->replay(*trace_);
-  if (check_invariants_) {
-    run_invariant_check("end of run", /*end_of_run=*/true);
-    // Trace-level conservation, only meaningful once the replay is done:
-    // every flow the (shaped) trace contains must have been injected and
-    // counted exactly once.
-    if (net_->metrics().flows_seen != trace_->flows.size()) {
-      invariant_violations_.push_back(
-          "end of run: trace conservation: flows_seen=" +
-          std::to_string(net_->metrics().flows_seen) +
-          " != trace flow count=" + std::to_string(trace_->flows.size()));
-    }
-  }
+  end_of_run_checks();
   return true;
+}
+
+void ScenarioRunner::end_of_run_checks() {
+  if (!check_invariants_) return;
+  run_invariant_check("end of run", /*end_of_run=*/true);
+  // Trace-level conservation, only meaningful once the replay is done:
+  // every flow the (shaped) trace contains must have been injected and
+  // counted exactly once.
+  if (net_->metrics().flows_seen != trace_->flows.size()) {
+    invariant_violations_.push_back(
+        "end of run: trace conservation: flows_seen=" +
+        std::to_string(net_->metrics().flows_seen) +
+        " != trace flow count=" + std::to_string(trace_->flows.size()));
+  }
+}
+
+std::unique_ptr<ScenarioRunner> ScenarioRunner::restore(
+    const std::vector<std::uint8_t>& bytes, std::string* error) {
+  return ckpt::StateAccess::restore_runner(bytes, error);
+}
+
+bool ScenarioRunner::finish(std::string* error) {
+  if (!restored_ || ran_) {
+    if (error) *error = "finish() requires a freshly restored runner";
+    return false;
+  }
+  ran_ = true;
+  net_->resume_replay(*trace_, resume_cursor_);
+  end_of_run_checks();
+  return true;
+}
+
+bool ScenarioRunner::save_now(std::vector<std::uint8_t>* out,
+                              std::string* error) {
+  if (!restored_ || ran_) {
+    if (error) *error = "save_now() requires a freshly restored runner";
+    return false;
+  }
+  return ckpt::StateAccess::save(*this, restore_index_, out, error);
 }
 
 }  // namespace lazyctrl::scenario

@@ -16,6 +16,7 @@
 // deterministic mode (regression-tested in tests/scenario_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +28,10 @@
 #include "topo/topology.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
+
+namespace lazyctrl::ckpt {
+class StateAccess;
+}
 
 namespace lazyctrl::scenario {
 
@@ -69,6 +74,44 @@ class ScenarioRunner {
                                 ///< found nothing to do, switch already up)
   };
 
+  // --- checkpoint / resume (src/ckpt) ---
+
+  /// One snapshot taken at a checkpoint fence. `bytes` is empty and
+  /// `error` set when serialization failed (e.g. in-flight work at the
+  /// fence); the run itself continues either way.
+  struct Snapshot {
+    SimTime at = 0;
+    std::vector<std::uint8_t> bytes;
+    std::string error;
+  };
+
+  /// Additional checkpoint fences beyond the spec's `checkpoint_at`
+  /// events (the `--checkpoint-every` CLI hook): absolute sim times,
+  /// scheduled as one-shot fence events. Must be called before run().
+  void add_checkpoint_times(std::vector<SimTime> times);
+
+  /// Snapshots taken during run()/finish(), in fence order.
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+
+  /// Stage 1 of a resume: rebuilds a runner from snapshot bytes — spec,
+  /// topology, trace and the full network/simulator state at the
+  /// checkpointed fence. Returns nullptr and sets `*error` on a corrupt,
+  /// truncated or version-skewed snapshot. The restored runner replays
+  /// nothing until finish().
+  static std::unique_ptr<ScenarioRunner> restore(
+      const std::vector<std::uint8_t>& bytes, std::string* error);
+
+  /// Stage 2: drives the restored replay to the trace horizon. The
+  /// resulting metrics() are bit-identical to the uninterrupted run's.
+  bool finish(std::string* error);
+
+  /// Re-serializes the current state of a restored (not yet finished)
+  /// runner. restore(checkpoint(s)) followed by save_now() reproduces the
+  /// snapshot byte for byte — the round-trip identity ckpt_test enforces.
+  bool save_now(std::vector<std::uint8_t>* out, std::string* error);
+
   [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
   // The accessors below require a successful run().
   [[nodiscard]] const core::RunMetrics& metrics() const {
@@ -84,6 +127,12 @@ class ScenarioRunner {
   }
 
  private:
+  /// The snapshot codec: reads/writes the runner's scheduling bookkeeping
+  /// (script event ids, checkpoint fences, event counts) alongside the
+  /// network state, and rebuilds a restored runner through the private
+  /// construction path.
+  friend class lazyctrl::ckpt::StateAccess;
+
   /// Range-checks the spec's VM bounds and builds the topology (once);
   /// shared head of run() and validate_only().
   bool prepare_topology(std::string* error);
@@ -98,6 +147,11 @@ class ScenarioRunner {
   /// (arrival opens, departure closes; both default to the full run).
   [[nodiscard]] std::vector<workload::TenantActivityWindow>
   tenant_activity_windows() const;
+  /// Serializes the current state into `snapshots_` (fence callback of
+  /// both `checkpoint_at` script events and --checkpoint-every one-shots).
+  void take_checkpoint();
+  /// End-of-run invariant tail shared by run() and finish().
+  void end_of_run_checks();
 
   ScenarioSpec spec_;
   topo::Topology topology_;
@@ -108,6 +162,24 @@ class ScenarioRunner {
   bool topology_built_ = false;
   bool check_invariants_ = false;
   std::vector<std::string> invariant_violations_;
+
+  // --- checkpoint bookkeeping ---
+  /// Simulator event id per script event (0 = not scheduled: build-time
+  /// kinds, or already fired on a restored runner); parallel to
+  /// spec_.events. Lets a snapshot classify pending script events.
+  std::vector<sim::EventId> script_event_ids_;
+  /// --checkpoint-every fences: absolute times and their one-shot ids.
+  std::vector<SimTime> extra_checkpoint_times_;
+  std::vector<sim::EventId> extra_event_ids_;
+  std::vector<Snapshot> snapshots_;
+  /// Index the next snapshot gets (restored runners continue the
+  /// uninterrupted run's numbering).
+  std::uint32_t next_snapshot_index_ = 0;
+  /// Valid on a restored runner: the snapshot's own index and where the
+  /// flow-injection chain picks up.
+  bool restored_ = false;
+  std::uint32_t restore_index_ = 0;
+  core::Network::ResumeCursor resume_cursor_;
 };
 
 }  // namespace lazyctrl::scenario

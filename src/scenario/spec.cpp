@@ -88,6 +88,7 @@ constexpr EventName kEventNames[] = {
     {EventKind::kSetControlDup, "set_control_dup"},
     {EventKind::kSetCtrlQueueCap, "set_ctrl_queue_cap"},
     {EventKind::kReconcile, "reconcile"},
+    {EventKind::kCheckpoint, "checkpoint_at"},
 };
 
 bool event_kind_from(const std::string& name, EventKind* out) {
@@ -522,6 +523,8 @@ EventParamRule param_rule(EventKind kind) {
     case EventKind::kSetCtrlQueueCap:
       return {.cap = true};
     case EventKind::kReconcile:
+      return {};
+    case EventKind::kCheckpoint:
       return {};
   }
   return {};

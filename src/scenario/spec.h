@@ -70,6 +70,7 @@ enum class EventKind : std::uint8_t {
   kSetControlDup,       ///< control-channel duplication prob. := `rate`
   kSetCtrlQueueCap,     ///< controller backlog drop-tail cap := `cap`
   kReconcile,           ///< anti-entropy audit/repair of FIB state
+  kCheckpoint,          ///< serialize the full run state at this fence
 };
 
 /// Canonical spelling of an event primitive (the `.scn` keyword).

@@ -52,6 +52,49 @@ void Simulator::dispatch(const Event& e) {
   }
 }
 
+std::vector<Simulator::PendingEvent> Simulator::pending_snapshot() const {
+  std::vector<PendingEvent> out;
+  out.reserve(queue_.size());
+  auto copy = queue_;  // priority_queue: drain a copy, min-first
+  while (!copy.empty()) {
+    const Event e = copy.top();
+    copy.pop();
+    if (cancelled_.contains(e.id)) continue;  // dead carcass
+    PendingEvent p{e.time, e.seq, e.id, false, 0};
+    if (const auto it = periodics_.find(e.id); it != periodics_.end()) {
+      p.periodic = true;
+      p.period = it->second.period;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+void Simulator::restore_clock(SimTime now, std::uint64_t next_seq,
+                              EventId next_id, std::uint64_t processed) {
+  assert(queue_.empty() && callbacks_.empty() && periodics_.empty());
+  now_ = now;
+  next_seq_ = next_seq;
+  next_id_ = next_id;
+  processed_ = processed;
+  set_log_sim_time(now_);
+}
+
+void Simulator::restore_one_shot(SimTime t, std::uint64_t seq, EventId id,
+                                 Callback cb) {
+  assert(cb && id < next_id_ && seq < next_seq_);
+  callbacks_.emplace(id, std::move(cb));
+  queue_.push(Event{t, seq, id});
+}
+
+void Simulator::restore_periodic(SimTime next_fire, std::uint64_t seq,
+                                 EventId id, SimDuration period,
+                                 Callback cb) {
+  assert(cb && period > 0 && id < next_id_ && seq < next_seq_);
+  periodics_.emplace(id, Periodic{period, std::move(cb)});
+  queue_.push(Event{next_fire, seq, id});
+}
+
 SimTime Simulator::next_event_time() {
   // Drain cancelled carcasses so the head is a live event.
   while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
@@ -83,20 +126,57 @@ void Simulator::run_until(SimTime deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
-void schedule_cursor_chain(Simulator& sim, SimTime first_at,
-                           CursorStep step) {
+namespace {
+
+/// The self-continuing chain closure shared by fresh and resumed chains.
+/// When `tracker` is non-null every (re)scheduled link publishes its
+/// (id, cursor, time) so a checkpoint can describe the chain's single
+/// pending event.
+std::shared_ptr<std::function<void(std::size_t)>> make_cursor_chain(
+    Simulator& sim, CursorStep step, CursorTracker* tracker) {
   auto chain = std::make_shared<std::function<void(std::size_t)>>();
   std::weak_ptr<std::function<void(std::size_t)>> weak_chain = chain;
   // `sim` outlives the chain: every reference to the continuation lives
   // in the simulator's own callback storage (or on this stack frame).
-  *chain = [&sim, step = std::move(step), weak_chain](std::size_t i) {
+  *chain = [&sim, step = std::move(step), weak_chain,
+            tracker](std::size_t i) {
     const std::optional<std::pair<std::size_t, SimTime>> next = step(i);
-    if (!next.has_value()) return;
+    if (!next.has_value()) {
+      if (tracker != nullptr) tracker->active = false;
+      return;
+    }
     auto strong = weak_chain.lock();  // non-null: *strong is running
-    sim.schedule_at(next->second,
-                    [strong, idx = next->first] { (*strong)(idx); });
+    const EventId id = sim.schedule_at(
+        next->second, [strong, idx = next->first] { (*strong)(idx); });
+    if (tracker != nullptr) {
+      *tracker = CursorTracker{
+          id, next->first,
+          next->second < sim.now() ? sim.now() : next->second, true};
+    }
   };
-  sim.schedule_at(first_at, [chain] { (*chain)(0); });
+  return chain;
+}
+
+}  // namespace
+
+void schedule_cursor_chain(Simulator& sim, SimTime first_at, CursorStep step,
+                           CursorTracker* tracker) {
+  auto chain = make_cursor_chain(sim, std::move(step), tracker);
+  const EventId id = sim.schedule_at(first_at, [chain] { (*chain)(0); });
+  if (tracker != nullptr) {
+    *tracker = CursorTracker{
+        id, 0, first_at < sim.now() ? sim.now() : first_at, true};
+  }
+}
+
+void resume_cursor_chain(Simulator& sim, SimTime at, std::uint64_t seq,
+                         EventId id, std::size_t index, CursorStep step,
+                         CursorTracker* tracker) {
+  auto chain = make_cursor_chain(sim, std::move(step), tracker);
+  sim.restore_one_shot(at, seq, id, [chain, index] { (*chain)(index); });
+  if (tracker != nullptr) {
+    *tracker = CursorTracker{id, index, at, true};
+  }
 }
 
 }  // namespace lazyctrl::sim

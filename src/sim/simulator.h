@@ -78,9 +78,49 @@ class Simulator {
   [[nodiscard]] std::uint64_t processed_events() const noexcept {
     return processed_;
   }
+  /// Allocation counters (next sequence number / event id to be handed
+  /// out), recorded by a snapshot so restore_clock can realign them.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] EventId next_event_id() const noexcept { return next_id_; }
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size() - cancelled_.size();
   }
+
+  // --- checkpoint/restore support (src/ckpt) ---
+  //
+  // Closures cannot be serialized, so a snapshot records each pending
+  // event as (time, seq, id [, period]) and the restoring side re-attaches
+  // an equivalent callback under the SAME tuple. Together with
+  // restore_clock this realigns the restored run's (time, seq) ordering
+  // and every future id/seq allocation with the uninterrupted run, which
+  // is what makes a resumed replay bit-identical.
+
+  /// One live pending queue entry (cancelled carcasses are excluded).
+  struct PendingEvent {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    bool periodic = false;
+    SimDuration period = 0;  ///< valid when `periodic`
+  };
+  /// All live pending events, ordered by (time, seq).
+  [[nodiscard]] std::vector<PendingEvent> pending_snapshot() const;
+
+  /// Restores the clock and allocation counters. Only meaningful on a
+  /// fresh simulator (no events scheduled yet).
+  void restore_clock(SimTime now, std::uint64_t next_seq, EventId next_id,
+                     std::uint64_t processed);
+
+  /// Re-creates a pending one-shot under an exact (time, seq, id) tuple
+  /// from a snapshot. The tuple must predate the restored counters.
+  void restore_one_shot(SimTime t, std::uint64_t seq, EventId id,
+                        Callback cb);
+
+  /// Re-creates a periodic series whose next firing is the exact
+  /// (next_fire, seq, id) tuple from a snapshot; later firings re-arm
+  /// with fresh sequence numbers exactly as the uninterrupted run would.
+  void restore_periodic(SimTime next_fire, std::uint64_t seq, EventId id,
+                        SimDuration period, Callback cb);
 
  private:
   struct Event {
@@ -117,6 +157,17 @@ using CursorStep =
     std::function<std::optional<std::pair<std::size_t, SimTime>>(
         std::size_t)>;
 
+/// Live position of a cursor chain, maintained by the chain itself when
+/// the caller passes one to schedule_cursor_chain / resume_cursor_chain.
+/// A checkpoint reads it to describe the chain's single pending event
+/// (the cursor it will run with); a restore re-creates the chain from it.
+struct CursorTracker {
+  EventId id = 0;         ///< pending event id (classifies the queue entry)
+  std::size_t index = 0;  ///< cursor the pending event will run with
+  SimTime at = 0;         ///< its scheduled timestamp
+  bool active = false;    ///< false once the chain ended
+};
+
 /// Schedules a self-continuing one-event-at-a-time cursor chain starting
 /// with cursor 0 at `first_at`. This owns the lifetime-sensitive pattern
 /// shared by the replay flow injectors (sequential, batched and sharded):
@@ -124,6 +175,14 @@ using CursorStep =
 /// one would form a shared_ptr cycle and leak it after every replay —
 /// while each scheduled event captures a strong reference, which is what
 /// keeps the chain alive across Simulator::run_until().
-void schedule_cursor_chain(Simulator& sim, SimTime first_at, CursorStep step);
+void schedule_cursor_chain(Simulator& sim, SimTime first_at, CursorStep step,
+                           CursorTracker* tracker = nullptr);
+
+/// Re-creates a checkpointed cursor chain: the pending link is restored
+/// under its exact (at, seq, id) snapshot tuple and runs `step` with
+/// `index`; the chain then continues normally.
+void resume_cursor_chain(Simulator& sim, SimTime at, std::uint64_t seq,
+                         EventId id, std::size_t index, CursorStep step,
+                         CursorTracker* tracker = nullptr);
 
 }  // namespace lazyctrl::sim

@@ -18,6 +18,14 @@
 // Exit codes: 0 every seed passed; 1 at least one seed failed (its
 // shrunk repro was written to --out); 2 usage error.
 //
+// Each seed runs three oracles (src/scenario/fuzz.h): the invariant-
+// checked run, the bit-identity rerun carrying a checkpoint fence, and
+// the checkpoint-restore resume whose finished metrics must match the
+// rerun's. When a shrunk failure still reaches its checkpoint fence, the
+// snapshot is written next to the repro as <name>.ckpt so the failing
+// state can be restored directly:
+//   lazyctrl_run --resume fuzz-failures/fuzz_<seed>.ckpt
+//
 // A written repro replays standalone with the scenario CLI:
 //   lazyctrl_run fuzz-failures/fuzz_<seed>.scn
 // and belongs in examples/scenarios/regressions/ once the bug is fixed
@@ -28,6 +36,7 @@
 #include <fstream>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "scenario/fuzz.h"
 #include "scenario/spec.h"
 
@@ -140,6 +149,25 @@ int main(int argc, char** argv) {
                    shrunk.events.size(), spec.events.size(), path.c_str());
     } else {
       std::fprintf(stderr, "  cannot write repro to %s\n", path.c_str());
+    }
+    // When the shrunk failure still reaches its checkpoint fence, keep
+    // the snapshot beside the repro so the failing state restores
+    // directly (lazyctrl_run --resume).
+    const scenario::FuzzRunResult shrunk_result =
+        scenario::run_scenario_with_checks(shrunk);
+    if (!shrunk_result.snapshot.empty()) {
+      const std::string snap_path = out_dir + "/" + spec.name + ".ckpt";
+      std::string snap_err;
+      if (ckpt::write_snapshot_file(snap_path, shrunk_result.snapshot,
+                                    &snap_err)) {
+        std::fprintf(stderr, "  checkpoint at t=%s -> %s\n",
+                     scenario::format_duration(shrunk_result.snapshot_at)
+                         .c_str(),
+                     snap_path.c_str());
+      } else {
+        std::fprintf(stderr, "  cannot write snapshot: %s\n",
+                     snap_err.c_str());
+      }
     }
   }
 

@@ -31,9 +31,23 @@
 //                            stdout and into the JSON "stats" section
 //   --log-level LEVEL        set log verbosity (debug|info|warn|error or
 //                            0-3; overrides LAZYCTRL_LOG)
+//   --checkpoint-every DUR   take a full-state snapshot every DUR of sim
+//                            time during the first repetition (plus any
+//                            checkpoint_at events in the spec) and write
+//                            each one to --checkpoint-dir as
+//                            <name>-<index>.ckpt. Snapshots are
+//                            metrics-neutral: later repetitions run
+//                            without them and must stay bit-identical.
+//   --checkpoint-dir DIR     where .ckpt files land (default ".")
+//   --resume FILE            instead of a .scn: restore FILE, finish the
+//                            replay, then run the same scenario
+//                            uninterrupted in-process and require the two
+//                            final RunMetrics to be bit-identical
+//                            (exit 1 + diff report otherwise)
 //
 // Exit codes: 0 ok; 1 scenario ran but a repetition's metrics diverged
-// (non-determinism — a bug); 2 parse/semantic/usage failure.
+// (non-determinism — a bug) or a resumed run diverged from the
+// uninterrupted one; 2 parse/semantic/usage failure.
 //
 // The spec grammar and every event primitive are documented in
 // docs/SCENARIOS.md.
@@ -46,6 +60,9 @@
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
+#include "ckpt/checkpoint.h"
 #include "common/log.h"
 #include "core/metrics.h"
 #include "core/network.h"
@@ -65,8 +82,10 @@ int usage(const char* argv0) {
                "usage: %s <scenario.scn> [--set section.key=value]... "
                "[--scale F] [--reps N] [--json-dir DIR] [--print-spec]\n"
                "          [--trace FILE] [--flow-sample N] [--stats-dump] "
-               "[--log-level LEVEL]\n",
-               argv0);
+               "[--log-level LEVEL]\n"
+               "          [--checkpoint-every DUR] [--checkpoint-dir DIR]\n"
+               "       %s --resume FILE.ckpt\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -172,6 +191,54 @@ void report_latency(benchx::BenchReport& report) {
       static_cast<unsigned long long>(e2e.count()), rec.size());
 }
 
+// --resume FILE: restore the snapshot, drive the replay to the horizon,
+// then run the embedded scenario uninterrupted in the same process and
+// require both final RunMetrics to be bit-identical. This is the CI gate
+// for the checkpoint subsystem (ckpt-smoke), not a bench run — no
+// harness JSON is emitted.
+int resume_main(const std::string& snapshot_path) {
+  std::vector<std::uint8_t> bytes;
+  std::string err;
+  if (!ckpt::read_snapshot_file(snapshot_path, &bytes, &err)) {
+    std::fprintf(stderr, "--resume: %s\n", err.c_str());
+    return 2;
+  }
+  auto resumed = scenario::ScenarioRunner::restore(bytes, &err);
+  if (resumed == nullptr) {
+    std::fprintf(stderr, "--resume %s: invalid snapshot: %s\n",
+                 snapshot_path.c_str(), err.c_str());
+    return 2;
+  }
+  std::printf("resuming '%s' from %s\n", resumed->spec().name.c_str(),
+              snapshot_path.c_str());
+  if (!resumed->finish(&err)) {
+    std::fprintf(stderr, "resumed replay failed: %s\n", err.c_str());
+    return 2;
+  }
+
+  auto full = std::make_unique<scenario::ScenarioRunner>(resumed->spec());
+  if (!full->run(&err)) {
+    std::fprintf(stderr, "uninterrupted comparison run failed: %s\n",
+                 err.c_str());
+    return 2;
+  }
+  if (!resumed->metrics().identical_to(full->metrics())) {
+    std::fprintf(stderr,
+                 "RESUME DIVERGED: the resumed run's final RunMetrics "
+                 "differ from the uninterrupted run's\n  %s\n",
+                 resumed->metrics().diff_report(full->metrics()).c_str());
+    return 1;
+  }
+  const core::RunMetrics& m = resumed->metrics();
+  std::printf(
+      "  resumed run bit-identical to uninterrupted: %llu flows, %llu "
+      "controller PacketIns, mean setup %.3f ms\n",
+      static_cast<unsigned long long>(m.flows_seen),
+      static_cast<unsigned long long>(m.controller_packet_ins),
+      m.first_packet_latency_ms.mean());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +252,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool stats_dump = false;
   int flow_sample = 0;
+  SimDuration checkpoint_every = 0;
+  std::string checkpoint_dir = ".";
+  std::string resume_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -233,6 +303,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--flow-sample expects a non-negative integer\n");
         return 2;
       }
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (v == nullptr) return 2;
+      if (!scenario::parse_duration(v, &checkpoint_every) ||
+          checkpoint_every <= 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-every expects a positive duration "
+                     "(e.g. 10m), got %s\n",
+                     v);
+        return 2;
+      }
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (v == nullptr) return 2;
+      checkpoint_dir = v;
+    } else if (arg == "--resume") {
+      const char* v = next("--resume");
+      if (v == nullptr) return 2;
+      resume_path = v;
     } else if (arg == "--stats-dump") {
       stats_dump = true;
     } else if (arg == "--log-level") {
@@ -256,6 +345,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "only one scenario file may be given\n");
       return usage(argv[0]);
     }
+  }
+  if (!resume_path.empty()) {
+    if (!path.empty()) {
+      std::fprintf(stderr,
+                   "--resume carries its own scenario; drop the .scn "
+                   "argument\n");
+      return 2;
+    }
+    return resume_main(resume_path);
   }
   if (path.empty()) return usage(argv[0]);
 
@@ -321,10 +419,46 @@ int main(int argc, char** argv) {
         if (!trace_path.empty()) obs::recorder().clear();
         obs::flow_recorder().clear();
         auto runner = std::make_unique<scenario::ScenarioRunner>(spec);
+        // Snapshots are taken on the first repetition only; later reps
+        // run without the extra fences and the bit-identity comparison
+        // below doubles as the snapshot-neutrality check.
+        if (checkpoint_every > 0 && rep_index == 1) {
+          std::vector<SimTime> fences;
+          for (SimTime t = checkpoint_every; t < spec.workload.horizon;
+               t += checkpoint_every) {
+            fences.push_back(t);
+          }
+          runner->add_checkpoint_times(std::move(fences));
+        }
         std::string error;
         if (!runner->run(&error)) {
           std::fprintf(stderr, "scenario failed: %s\n", error.c_str());
           return 2;
+        }
+        if (rep_index == 1 && !runner->snapshots().empty()) {
+          std::error_code ec;
+          std::filesystem::create_directories(checkpoint_dir, ec);
+          const std::string slug = benchx::slugify(spec.name);
+          std::size_t snap_index = 0;
+          for (const auto& snap : runner->snapshots()) {
+            if (!snap.error.empty()) {
+              std::fprintf(stderr, "checkpoint at t=%s failed: %s\n",
+                           scenario::format_duration(snap.at).c_str(),
+                           snap.error.c_str());
+              return 2;
+            }
+            const std::string file = checkpoint_dir + "/" + slug + "-" +
+                                     std::to_string(snap_index) + ".ckpt";
+            if (!ckpt::write_snapshot_file(file, snap.bytes, &error)) {
+              std::fprintf(stderr, "%s\n", error.c_str());
+              return 2;
+            }
+            std::printf("  checkpoint %zu at t=%s -> %s (%zu bytes)\n",
+                        snap_index,
+                        scenario::format_duration(snap.at).c_str(),
+                        file.c_str(), snap.bytes.size());
+            ++snap_index;
+          }
         }
         report_run(*runner, report);
         bool identical = true;
